@@ -1,0 +1,18 @@
+"""Figure 1: stride distribution for SpecInt95 and SpecFP95.
+
+Paper: stride 0 is the most frequent for both suites (locals/pointers for
+SpecInt, spill code for SpecFP); stride 1 dominates the rest of SpecFP with
+unrolling artifacts at 2/4/8; strides below the 4-word line cover the vast
+majority of samples.
+"""
+
+from repro.experiments import fig01_stride_distribution
+
+from conftest import SCALE, emit
+
+
+def test_fig01_stride_distribution(benchmark):
+    rows = benchmark.pedantic(
+        fig01_stride_distribution, args=(SCALE,), rounds=1, iterations=1
+    )
+    emit("fig01", "Figure 1: stride distribution (fraction of stride samples)", rows)

@@ -1,0 +1,14 @@
+"""Figure 3: percentage of vectorizable instructions (unbounded resources).
+
+Paper: 47% of SpecInt95 and 51% of SpecFP95 instructions can be vectorized
+when tables and vector registers are unbounded.
+"""
+
+from repro.experiments import fig03_vectorizable
+
+from conftest import SCALE, emit
+
+
+def test_fig03_vectorizable(benchmark):
+    rows = benchmark.pedantic(fig03_vectorizable, args=(SCALE,), rounds=1, iterations=1)
+    emit("fig03", "Figure 3: vectorizable instruction fraction, unbounded resources", rows)

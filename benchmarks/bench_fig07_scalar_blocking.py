@@ -1,0 +1,17 @@
+"""Figure 7: IPC blocking vs not blocking on scalar operands.
+
+Paper: mixed vector/scalar instructions wait at decode for the scalar
+register value ("real"); the "ideal" bars remove that stall.  The gap is
+small because few mixed instances have a late scalar operand.
+"""
+
+from repro.experiments import fig07_scalar_blocking
+
+from conftest import SCALE, emit
+
+
+def test_fig07_scalar_blocking(benchmark):
+    rows = benchmark.pedantic(
+        fig07_scalar_blocking, args=(SCALE,), rounds=1, iterations=1
+    )
+    emit("fig07", "Figure 7: IPC real (blocking) vs ideal, 4-way 1 wide port", rows)

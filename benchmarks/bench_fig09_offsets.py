@@ -1,0 +1,15 @@
+"""Figure 9: vector instructions with a nonzero source-operand offset.
+
+Paper: the fraction of vector instructions whose source registers start at
+different offsets (8-way, 128 vector registers) is small — mostly under
+10%, peaking near 25%.
+"""
+
+from repro.experiments import fig09_offsets
+
+from conftest import SCALE, emit
+
+
+def test_fig09_offsets(benchmark):
+    rows = benchmark.pedantic(fig09_offsets, args=(SCALE,), rounds=1, iterations=1)
+    emit("fig09", "Figure 9: vector instances created with nonzero offset, 8-way", rows)

@@ -1,0 +1,22 @@
+"""Figure 11: IPC over the full machine grid.
+
+Paper: for each width (4/8) and port count (1/2/4), three machines —
+scalar buses (xpnoIM), wide buses (xpIM), wide buses + dynamic
+vectorization (xpV).  Wide buses lift port-bound configurations strongly
+(8-way 1-port: 1.77 -> 2.16 in the paper) and V adds on top, most for
+strided codes.
+"""
+
+from repro.experiments import fig11_ipc
+
+from conftest import SCALE, emit
+
+
+def test_fig11_ipc_4way(benchmark):
+    rows = benchmark.pedantic(fig11_ipc, args=(4, SCALE), rounds=1, iterations=1)
+    emit("fig11_4way", "Figure 11 (bottom): IPC, 4-way processor", rows)
+
+
+def test_fig11_ipc_8way(benchmark):
+    rows = benchmark.pedantic(fig11_ipc, args=(8, SCALE), rounds=1, iterations=1)
+    emit("fig11_8way", "Figure 11 (top): IPC, 8-way processor", rows)

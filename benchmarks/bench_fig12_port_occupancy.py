@@ -1,0 +1,24 @@
+"""Figure 12: L1 data-port occupancy over the Fig 11 grid.
+
+Paper: dynamic vectorization reduces pressure on the memory ports —
+validations need no port, and vector element fetches ride coalesced wide
+accesses.  (Runs are shared with Fig 11 via the experiment cache.)
+"""
+
+from repro.experiments import fig12_port_occupancy
+
+from conftest import SCALE, emit
+
+
+def test_fig12_occupancy_4way(benchmark):
+    rows = benchmark.pedantic(
+        fig12_port_occupancy, args=(4, SCALE), rounds=1, iterations=1
+    )
+    emit("fig12_4way", "Figure 12 (bottom): port occupancy, 4-way", rows)
+
+
+def test_fig12_occupancy_8way(benchmark):
+    rows = benchmark.pedantic(
+        fig12_port_occupancy, args=(8, SCALE), rounds=1, iterations=1
+    )
+    emit("fig12_8way", "Figure 12 (top): port occupancy, 8-way", rows)

@@ -1,0 +1,16 @@
+"""Figure 13: effectiveness of wide buses.
+
+Paper: percentage of read lines contributing 1..4 useful words plus
+speculative (unused) accesses, 4-way with 1 wide port; a large share of
+accesses serves multiple words, and unused accesses are small except for
+compress.
+"""
+
+from repro.experiments import fig13_wide_bus
+
+from conftest import SCALE, emit
+
+
+def test_fig13_wide_bus(benchmark):
+    rows = benchmark.pedantic(fig13_wide_bus, args=(SCALE,), rounds=1, iterations=1)
+    emit("fig13", "Figure 13: useful words per read line + unused accesses, 4-way 1 wide port", rows)

@@ -1,0 +1,14 @@
+"""Figure 14: percentage of instructions turned into validations.
+
+Paper: 28% of SpecInt and 23% of SpecFP instructions become validation
+operations on an 8-way processor with one wide bus.
+"""
+
+from repro.experiments import fig14_validations
+
+from conftest import SCALE, emit
+
+
+def test_fig14_validations(benchmark):
+    rows = benchmark.pedantic(fig14_validations, args=(SCALE,), rounds=1, iterations=1)
+    emit("fig14", "Figure 14: validation instruction fraction, 8-way 1 wide port", rows)

@@ -1,0 +1,17 @@
+"""Figure 15: prediction accuracy — element fates per vector register.
+
+Paper: of the 4 elements per register, on average 3.75 are computed but
+only 1.75 validate ("computed used"); more than half the speculative work
+is useless, which the authors flag as a power concern and future work.
+"""
+
+from repro.experiments import fig15_prediction_accuracy
+
+from conftest import SCALE, emit
+
+
+def test_fig15_prediction_accuracy(benchmark):
+    rows = benchmark.pedantic(
+        fig15_prediction_accuracy, args=(SCALE,), rounds=1, iterations=1
+    )
+    emit("fig15", "Figure 15: avg vector elements used / computed-unused / not computed, 8-way", rows)

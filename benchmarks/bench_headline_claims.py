@@ -1,0 +1,53 @@
+"""The paper's headline scalar claims (abstract, §1, §4.3, §6).
+
+* a 4-way with one wide port + dynamic vectorization is ~19% faster than a
+  4-way with 4 scalar ports, and ~3% faster than an 8-way with 4 scalar
+  ports;
+* memory requests drop 15% (SpecInt) / 20% (SpecFP);
+* V adds +21.2% (SpecInt) / +8.1% (SpecFP) IPC over one wide bus alone;
+* 28% / 23% of instructions become validations.
+
+The bench prints paper-vs-measured side by side; EXPERIMENTS.md records a
+full-scale snapshot.
+"""
+
+import pathlib
+
+from repro.analysis import format_table
+from repro.experiments import headline_claims
+
+from conftest import RESULTS_DIR, SCALE
+
+PAPER = {
+    "speedup_1pV_vs_4pnoIM": 0.19,
+    "speedup_1pV_vs_8way_4pnoIM": 0.03,
+    "int_ipc_gain_over_IM": 0.212,
+    "fp_ipc_gain_over_IM": 0.081,
+    "int_mem_reduction": 0.15,
+    "fp_mem_reduction": 0.20,
+    "int_validation_fraction": 0.28,
+    "fp_validation_fraction": 0.23,
+}
+
+
+def test_headline_claims(benchmark):
+    measured = benchmark.pedantic(headline_claims, args=(SCALE,), rounds=1, iterations=1)
+    rows = [
+        [key, f"{PAPER[key]:+.1%}", f"{value:+.1%}",
+         "same sign" if (value > 0) == (PAPER[key] > 0) else "SIGN FLIP"]
+        for key, value in measured.items()
+    ]
+    table = format_table(["claim", "paper", "measured", "shape"], rows)
+    text = f"Headline claims (scale={SCALE})\n{table}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "headline.txt").write_text(text)
+    print("\n" + text)
+    # The reproduction must preserve the *direction* of every claim except
+    # the 4-way-1pV vs 8-way-4pnoIM comparison: our 8-way baseline is
+    # relatively stronger than the paper's (trace-driven wrong paths cost
+    # wide machines less), so that razor-thin +3% flips sign here.  It is
+    # recorded in EXPERIMENTS.md as a known deviation.
+    for key, value in measured.items():
+        if key == "speedup_1pV_vs_8way_4pnoIM":
+            continue
+        assert (value > 0) == (PAPER[key] > 0), key

@@ -1,0 +1,46 @@
+"""Shared benchmark-harness configuration.
+
+Every file under ``benchmarks/`` regenerates one table/figure of the
+paper's evaluation (DESIGN.md §4 maps them).  Conventions:
+
+* each bench runs its figure exactly once (``pedantic(rounds=1)``) — the
+  interesting output is the *table*, the time is just bookkeeping;
+* the rendered table is appended to ``benchmarks/results/<figure>.txt``
+  and echoed to stdout (run pytest with ``-s`` to see it live);
+* ``REPRO_BENCH_SCALE`` (dynamic instructions per benchmark, default
+  12000) trades fidelity for wall-clock time.
+
+Simulation results are memoized process-wide (``repro.experiments.run_point``),
+so e.g. Fig 11 and Fig 12 share their 108 machine simulations.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.analysis import format_table, suite_rows
+from repro.workloads import SPEC_FP, SPEC_INT
+
+#: dynamic instructions per benchmark per configuration point.
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "12000"))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def emit(figure: str, title: str, rows, headers=None) -> str:
+    """Render one figure's rows (benchmark -> column -> value) and persist.
+
+    ``rows`` is the ``{benchmark: {column: value}}`` shape returned by the
+    :mod:`repro.experiments.figures` runners; INT/FP/TOTAL average rows are
+    appended like the paper's charts.
+    """
+    if headers is None:
+        first = next(iter(rows.values()))
+        headers = ["benchmark"] + list(first.keys())
+    table = format_table(headers, suite_rows(rows, SPEC_INT, SPEC_FP))
+    text = f"{title} (scale={SCALE})\n{table}\n"
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{figure}.txt").write_text(text)
+    print("\n" + text)
+    return text

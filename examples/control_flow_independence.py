@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Control-flow independence across branch mispredictions (paper §3.5).
+
+When a branch mispredicts, the scalar pipeline flushes — but the vector
+datapath does not: registers stay allocated, element fetches keep flowing,
+and
+when the correct path re-enters the pipeline its validation operations
+find their elements already computed.  Figure 10 of the paper measures
+how much of the first 100 post-misprediction instructions is reused this
+way.
+
+This example runs a hard-to-predict loop (50/50 data-dependent branch
+over strided data) and reports the reuse fraction and the resulting IPC
+effect.
+
+Run:  python examples/control_flow_independence.py
+"""
+
+from repro.analysis import format_table, percent
+from repro.functional import run_program
+from repro.pipeline import make_config, simulate
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.kernels import branchy_threshold
+
+
+def build(taken_prob: float):
+    b = ProgramBuilder()
+    branchy_threshold(b, n=256, iters=10, taken_prob=taken_prob)
+    b.halt()
+    return b.build()
+
+
+def main() -> None:
+    rows = []
+    for label, prob in (("predictable (95% taken)", 0.95), ("coin flip (50%)", 0.5)):
+        trace = run_program(build(prob))
+        base = simulate(make_config(4, 1, "IM"), trace)
+        vec = simulate(make_config(4, 1, "V"), trace)
+        rows.append(
+            [
+                label,
+                base.branch_mispredicts,
+                f"{base.ipc:.3f}",
+                f"{vec.ipc:.3f}",
+                f"{vec.ipc / base.ipc - 1.0:+.1%}",
+                percent(vec.cfi_reuse_fraction),
+            ]
+        )
+    print("Data-dependent branches, 4-way, one wide L1 port:")
+    print(
+        format_table(
+            ["branch behaviour", "mispredicts", "IPC (IM)", "IPC (V)", "speedup",
+             "post-mispredict reuse"],
+            rows,
+        )
+    )
+    print()
+    print("The loads and address arithmetic around the unpredictable branch are "
+          "control independent: their vector elements survive every flush, so "
+          "the refetched path validates instead of re-executing (Fig 10).")
+
+
+if __name__ == "__main__":
+    main()

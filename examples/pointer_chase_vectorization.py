@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Pointer-rich code and hidden strides (paper §1/§2).
+
+The paper's motivating claim: SIMD parallelism exists in pointer-rich
+codes where a compiler cannot prove it.  This example builds two linked
+lists with *identical source code* — only the heap layout differs:
+
+* ``sequential`` — nodes allocated in traversal order; the 'next' pointer
+  loads secretly stride by one node size.  The Table of Loads discovers
+  the stride and vectorizes the traversal; no compiler could, because
+  nothing in the program text guarantees the layout.
+* ``shuffled`` — nodes scattered by a random permutation: no stride
+  exists and the mechanism correctly stays scalar (and pays almost
+  nothing for trying).
+
+Run:  python examples/pointer_chase_vectorization.py
+"""
+
+from repro.analysis import format_table, percent
+from repro.functional import run_program
+from repro.pipeline import make_config, simulate
+from repro.workloads.builder import ProgramBuilder
+from repro.workloads.kernels import pointer_chase
+
+
+def build(shuffled: bool):
+    b = ProgramBuilder()
+    pointer_chase(b, n_nodes=192, iters=12, shuffled=shuffled)
+    b.halt()
+    return b.build()
+
+
+def main() -> None:
+    rows = []
+    for layout, shuffled in (("sequential", False), ("shuffled", True)):
+        trace = run_program(build(shuffled))
+        base = simulate(make_config(4, 1, "IM"), trace)
+        vec = simulate(make_config(4, 1, "V"), trace)
+        rows.append(
+            [
+                layout,
+                f"{base.ipc:.3f}",
+                f"{vec.ipc:.3f}",
+                f"{vec.ipc / base.ipc - 1.0:+.1%}",
+                percent(vec.validation_fraction),
+                vec.validation_failures,
+                f"{vec.read_accesses / max(1, base.read_accesses) - 1.0:+.1%}",
+            ]
+        )
+    print("Linked-list traversal, 4-way, one wide L1 port:")
+    print(
+        format_table(
+            [
+                "heap layout",
+                "IPC (IM)",
+                "IPC (V)",
+                "speedup",
+                "validations",
+                "failures",
+                "read traffic",
+            ],
+            rows,
+        )
+    )
+    print()
+    print("Same program, different allocation order: the sequential heap has a "
+          "constant stride the hardware can exploit; the shuffled heap does not, "
+          "and the confidence counters keep the machine safely scalar.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a kernel, run it, and compare the three machines.
+
+The kernel below is a classic irregular-looking loop: it sums an array
+through a pointer with a data-dependent branch.  A vectorizing compiler
+would need the source; the paper's processor discovers the SIMD
+parallelism *at run time* from the load's address stream.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import format_table
+from repro.functional import run_program
+from repro.isa import assemble
+from repro.pipeline import make_config, simulate
+
+KERNEL = """
+.data
+arr:    .word 5 3 8 1 9 2 7 4 6 0 5 3 8 1 9 2
+total:  .word 0
+
+.text
+    li   r1, arr        ; cursor
+    li   r2, 0          ; running sum
+    li   r4, 0          ; index
+loop:
+    ld   r3, 0(r1)      ; strided load -> vectorizes after 3 instances
+    slti r5, r3, 5
+    beq  r5, r0, big
+    add  r2, r2, r3     ; small values added once
+    j    next
+big:
+    add  r2, r2, r3     ; big values counted twice
+    add  r2, r2, r3
+next:
+    addi r1, r1, 8
+    addi r4, r4, 1
+    slti r5, r4, 16
+    bne  r5, r0, loop
+    li   r6, total
+    st   r2, 0(r6)
+    halt
+"""
+
+
+def main() -> None:
+    program = assemble(KERNEL)
+    trace = run_program(program)
+    print(f"functional run: {len(trace)} instructions, "
+          f"sum = {trace.final_memory.load(program.labels and 0x1000 + 16 * 8)}")
+    print()
+
+    rows = []
+    for mode in ("noIM", "IM", "V"):
+        stats = simulate(make_config(width=4, ports=1, mode=mode), trace)
+        rows.append(
+            [
+                mode,
+                f"{stats.ipc:.3f}",
+                stats.cycles,
+                stats.memory_accesses,
+                stats.validations_committed,
+            ]
+        )
+    print("4-way superscalar, 1 L1 data port "
+          "(noIM = scalar bus, IM = wide bus, V = wide bus + vectorization):")
+    print(format_table(["mode", "IPC", "cycles", "mem accesses", "validations"], rows))
+    print()
+    print("The V machine turns repeat instances of the load (and the adds fed "
+          "by it) into validations, so they need neither a memory port nor an "
+          "ALU — that is the paper's mechanism in one loop.")
+
+
+if __name__ == "__main__":
+    main()

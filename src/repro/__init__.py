@@ -1,0 +1,48 @@
+"""repro — a full-system reproduction of *Speculative Dynamic Vectorization*
+(Pajuelo, González, Valero; ISCA 2002).
+
+The package layers, bottom-up:
+
+* :mod:`repro.isa` — a 64-bit RISC-like ISA with a two-pass assembler;
+* :mod:`repro.functional` — the architectural interpreter and trace;
+* :mod:`repro.workloads` — a structured program builder, kernel library
+  and 12 synthetic SPEC95-like benchmarks;
+* :mod:`repro.memory` — set-associative caches, the L1/L2/memory chain,
+  scalar ports and the 4-word wide bus;
+* :mod:`repro.frontend` — gshare branch prediction and trace-driven fetch;
+* :mod:`repro.pipeline` — the cycle-level out-of-order superscalar model
+  (Table 1 of the paper);
+* :mod:`repro.core` — the paper's contribution: the Table of Loads, the
+  VRMT, the vector register file with V/R/U/F element flags, and the
+  speculative dynamic vectorization engine;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — trace analyses and
+  one runner per figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.isa import assemble
+    from repro.functional import run_program
+    from repro.pipeline import make_config, simulate
+
+    program = assemble(open("kernel.s").read())
+    trace = run_program(program)
+    stats = simulate(make_config(width=4, ports=1, mode="V"), trace)
+    print(stats.summary())
+"""
+
+from . import analysis, core, experiments, frontend, functional, isa, memory, pipeline, workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "experiments",
+    "frontend",
+    "functional",
+    "isa",
+    "memory",
+    "pipeline",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [--scale N] [--only figNN ...]`` — regenerate the paper's
+  figures and print their tables;
+* ``headline [--scale N]`` — measure the paper's headline claims;
+* ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]`` —
+  simulate one benchmark on one configuration and print the stat summary;
+* ``list`` — list the available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import format_table, suite_rows
+from .experiments import figures as _figures
+from .experiments.runner import EXPERIMENT_SCALE, run_point
+from .workloads import ALL_BENCHMARKS, SPEC_FP, SPEC_INT
+
+#: figure name -> (callable(scale) -> rows, title); fig11/12 take a width.
+FIGURE_RUNNERS = {
+    "fig01": (_figures.fig01_stride_distribution, "Figure 1: stride distribution"),
+    "fig03": (_figures.fig03_vectorizable, "Figure 3: vectorizable fraction"),
+    "fig07": (_figures.fig07_scalar_blocking, "Figure 7: real vs ideal IPC"),
+    "fig09": (_figures.fig09_offsets, "Figure 9: nonzero-offset instances"),
+    "fig10": (_figures.fig10_control_independence, "Figure 10: CFI reuse"),
+    "fig11_4way": (lambda s: _figures.fig11_ipc(4, s), "Figure 11: IPC, 4-way"),
+    "fig11_8way": (lambda s: _figures.fig11_ipc(8, s), "Figure 11: IPC, 8-way"),
+    "fig12_4way": (lambda s: _figures.fig12_port_occupancy(4, s), "Figure 12: occupancy, 4-way"),
+    "fig12_8way": (lambda s: _figures.fig12_port_occupancy(8, s), "Figure 12: occupancy, 8-way"),
+    "fig13": (_figures.fig13_wide_bus, "Figure 13: wide-bus usefulness"),
+    "fig14": (_figures.fig14_validations, "Figure 14: validation fraction"),
+    "fig15": (_figures.fig15_prediction_accuracy, "Figure 15: element fates"),
+}
+
+
+def _print_rows(title: str, rows) -> None:
+    first = next(iter(rows.values()))
+    headers = ["benchmark"] + list(first.keys())
+    print(f"\n{title}")
+    print(format_table(headers, suite_rows(rows, SPEC_INT, SPEC_FP)))
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    names = args.only or list(FIGURE_RUNNERS)
+    for name in names:
+        if name not in FIGURE_RUNNERS:
+            print(f"unknown figure {name!r}; known: {', '.join(FIGURE_RUNNERS)}")
+            return 2
+        runner, title = FIGURE_RUNNERS[name]
+        _print_rows(title, runner(args.scale))
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    claims = _figures.headline_claims(args.scale)
+    rows = [[key, f"{value:+.1%}"] for key, value in claims.items()]
+    print(format_table(["claim", "measured"], rows))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.benchmark not in ALL_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; try: {', '.join(ALL_BENCHMARKS)}")
+        return 2
+    stats = run_point(args.benchmark, args.width, args.ports, args.mode, args.scale)
+    print(stats.summary())
+    return 0
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("SpecInt95-like:", ", ".join(SPEC_INT))
+    print("SpecFP95-like: ", ", ".join(SPEC_FP))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Speculative Dynamic Vectorization (ISCA 2002) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    p.add_argument("--only", nargs="*", metavar="FIG", help="subset, e.g. fig14")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("headline", help="measure the paper's headline claims")
+    p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    p.set_defaults(fn=cmd_headline)
+
+    p = sub.add_parser("run", help="simulate one benchmark/configuration")
+    p.add_argument("benchmark")
+    p.add_argument("--width", type=int, default=4, choices=(4, 8))
+    p.add_argument("--ports", type=int, default=1, choices=(1, 2, 4))
+    p.add_argument("--mode", default="V", choices=("noIM", "IM", "V"))
+    p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("list", help="list the benchmark suite")
+    p.set_defaults(fn=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Trace analyses (Figures 1 and 3) and report formatting."""
+
+from .reports import format_table, mean, percent, suite_rows
+from .stride_profile import (
+    STRIDE_BUCKETS,
+    merge_histograms,
+    small_stride_fraction,
+    stride_histogram,
+)
+from .vector_length import VectorLengthResult, average_vector_length
+from .vectorizability import VectorizabilityResult, vectorizable_fraction
+
+__all__ = [
+    "format_table",
+    "mean",
+    "percent",
+    "suite_rows",
+    "STRIDE_BUCKETS",
+    "merge_histograms",
+    "small_stride_fraction",
+    "stride_histogram",
+    "VectorizabilityResult",
+    "vectorizable_fraction",
+    "VectorLengthResult",
+    "average_vector_length",
+]

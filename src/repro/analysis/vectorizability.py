@@ -1,0 +1,95 @@
+"""Unbounded-resource vectorizability analysis (paper Figure 3).
+
+Figure 3 reports, "with unbounded resources", what fraction of dynamic
+instructions could be executed in vector mode: strided loads (by the TL
+rule — two consecutive stride repeats) fire vectorization, and the
+vectorizable attribute propagates down the register dataflow graph — any
+arithmetic instruction with at least one vectorized source operand is
+itself vectorizable.
+
+This is a pure trace analysis: no table capacities, no register-file
+limit, no misspeculation, no timing — the idealised upper bound the paper
+uses to motivate the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..functional.trace import Trace
+from ..isa.opcodes import VECTORIZABLE_ALU_OPS
+from ..isa.registers import NO_REG, NUM_LOGICAL_REGS, ZERO_REG
+
+
+@dataclass
+class VectorizabilityResult:
+    """Counts from one trace."""
+
+    total: int = 0
+    vector_loads: int = 0
+    vector_alu: int = 0
+
+    @property
+    def vectorizable(self) -> int:
+        return self.vector_loads + self.vector_alu
+
+    @property
+    def fraction(self) -> float:
+        return self.vectorizable / self.total if self.total else 0.0
+
+
+def vectorizable_fraction(
+    trace: Trace, confidence_threshold: int = 2
+) -> VectorizabilityResult:
+    """Classify every dynamic instruction as vectorizable or not.
+
+    A load instance is vectorizable once its static load has repeated the
+    same stride ``confidence_threshold`` times (the paper's TL rule with
+    an unbounded table).  An arithmetic instance is vectorizable when any
+    source register currently holds a vectorizable result.  Stores,
+    control flow and ``LI`` never vectorize; any non-vectorizable write
+    clears its destination's vector attribute.
+    """
+    # Unbounded TL: pc -> (last_address, stride, confidence).
+    tl: Dict[int, list] = {}
+    reg_is_vector = [False] * NUM_LOGICAL_REGS
+    result = VectorizabilityResult()
+
+    for entry in trace.entries:
+        result.total += 1
+        rd = entry.rd
+        if entry.is_load:
+            state = tl.get(entry.pc)
+            vectorizable = False
+            if state is None:
+                tl[entry.pc] = [entry.addr, 0, 0]
+            else:
+                stride = entry.addr - state[0]
+                if stride == state[1]:
+                    state[2] += 1
+                else:
+                    state[1] = stride
+                    state[2] = 0
+                state[0] = entry.addr
+                vectorizable = state[2] >= confidence_threshold
+            if vectorizable:
+                result.vector_loads += 1
+            if rd != NO_REG and rd != ZERO_REG:
+                reg_is_vector[rd] = vectorizable
+            continue
+        if entry.op in VECTORIZABLE_ALU_OPS and rd != NO_REG:
+            vectorizable = any(
+                src != NO_REG and reg_is_vector[src]
+                for src in (entry.rs1, entry.rs2)
+            )
+            if vectorizable:
+                result.vector_alu += 1
+            if rd != ZERO_REG:
+                reg_is_vector[rd] = vectorizable
+            continue
+        # Stores, branches, jumps, LI, NOP, HALT: not vectorizable; a
+        # register write (LI, JAL) kills the attribute.
+        if rd != NO_REG and rd != ZERO_REG:
+            reg_is_vector[rd] = False
+    return result

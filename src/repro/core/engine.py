@@ -1,0 +1,709 @@
+"""The speculative dynamic vectorization engine (paper §3).
+
+This module is the paper's contribution.  It plugs into the decode stage
+of the out-of-order machine (:mod:`repro.pipeline.machine`) and owns:
+
+* the **Table of Loads** — stride detection that fires vectorization;
+* the **VRMT** — maps static PCs to the vector registers holding their
+  precomputed results, plus the next element offset to validate;
+* the **vector register file** — 128 x 4-element registers with the
+  V/R/U/F element flags, MRBB tags and the two freeing rules;
+* the **vector datapath** — element fetches for vector loads (scheduled
+  over the machine's L1 ports) and pipelined vector ALU instances whose
+  element values are *really computed* with the shared ISA semantics;
+* **validation** — every later dynamic instance of a vectorized
+  instruction is turned into a validation op checking one element
+  (address equality for loads, operand identity for arithmetic);
+* **misspeculation recovery** — a failed validation squashes from the
+  failing instruction and drops it back to scalar mode;
+* **store coherence** (§3.6) — committed stores are checked against the
+  address range of every live vector-load register; a hit invalidates the
+  VRMT entry, marks the register defunct and squashes younger
+  instructions;
+* **control-flow independence** (§3.5) — none of the vector state above
+  is rolled back on branch mispredictions, so post-misprediction
+  validations can reuse pre-flush work.
+
+Soundness is enforced, not assumed: when ``config.check_invariants`` is
+on, every committing validation asserts that its element value equals the
+architectural result from the functional trace.  Any bug in stride
+prediction, coherence or operand matching trips the assertion instead of
+silently inflating the speedup.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple, Union
+
+from typing import TYPE_CHECKING
+
+from ..functional.semantics import apply_alu
+from ..isa.opcodes import FU_LATENCY, Opcode, fu_class_of
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with the pipeline
+    from ..pipeline.config import MachineConfig
+    from ..pipeline.stats import SimStats
+from .table_of_loads import TableOfLoads
+from .vector_regfile import VectorRegister, VectorRegisterFile
+from .vrmt import VRMT, VRMTEntry
+
+Number = Union[int, float]
+
+
+class MisspeculationError(AssertionError):
+    """A committed validation disagreed with the architectural value —
+    the mechanism would have corrupted architectural state."""
+
+
+class DecodeKind(enum.Enum):
+    """What the decode stage turned a dynamic instruction into."""
+
+    SCALAR = "scalar"  # execute normally
+    VALIDATION = "validation"  # check one vector element, no execution
+    TRIGGER = "trigger"  # created a vector instance; commits its start element
+
+
+@dataclass
+class Decision:
+    """Decode-time outcome for one dynamic instruction."""
+
+    kind: DecodeKind
+    reg: Optional[VectorRegister] = None
+    elem: int = -1
+    pred_addr: Optional[int] = None
+    #: True when the dynamic instance is a validation op for Fig 14's count
+    #: (chained creations validate element 0 of the new register, so they
+    #: are both TRIGGER and a validation).
+    counts_as_validation: bool = False
+    #: VRMT rollback data for squashes: (pc, snapshot-or-None), or None when
+    #: the decision did not touch the VRMT.
+    vrmt_rollback: Optional[Tuple[int, Optional[VRMTEntry]]] = None
+
+
+
+
+@dataclass
+class VectorAluInstance:
+    """A pending vector arithmetic operation (element-wise, pipelined).
+
+    ``srcs`` entries are ``("V", reg, base_elem)`` — element ``k`` of the
+    destination reads element ``k - start + base_elem`` of the source — or
+    ``("S", value)`` for broadcast scalar/immediate operands (§3.4).
+
+    Elements are scheduled individually as their source elements become
+    available (sources may themselves trickle in when element fetching is
+    throttled), flowing through one pipelined vector FU at one element per
+    cycle.
+    """
+
+    dest: VectorRegister
+    op: Opcode
+    srcs: List[Tuple]
+    start: int
+    alloc_cycle: int
+    #: next destination element awaiting scheduling.
+    next_elem: int = -1
+    #: cycle the assigned FU opened up for this instance (set lazily).
+    pipe_start: Optional[int] = None
+    #: issue slot of the previously scheduled element (pipelining).
+    last_issue: int = -1
+    #: index of the vector FU this instance occupies (set lazily).
+    fu_unit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.next_elem < 0:
+            self.next_elem = self.start
+
+    @property
+    def done(self) -> bool:
+        return self.next_elem >= self.dest.length
+
+    def src_elem_known(self, k: int) -> bool:
+        """All source elements feeding dest element ``k`` have scheduled
+        compute times (defunct/freed sources count as known — their values
+        are garbage, but consumers of garbage are squashed before commit)."""
+        for desc in self.srcs:
+            if desc[0] != "V":
+                continue
+            reg, base = desc[1], desc[2]
+            if reg.defunct or reg.freed or reg.abandoned:
+                continue
+            if reg.r_time[k - self.start + base] is None:
+                return False
+        return True
+
+
+class VectorizationEngine:
+    """Decode-side vectorizer + vector datapath + coherence for one run."""
+
+    def __init__(self, config: "MachineConfig", stats: "SimStats") -> None:
+        self.config = config
+        vc = config.vector
+        self.vl = vc.vector_length
+        self.stats = stats
+        self.tl = TableOfLoads(
+            vc.tl_ways, vc.tl_sets, vc.confidence_threshold, damping=vc.tl_damping
+        )
+        self.vrmt = VRMT(vc.vrmt_ways, vc.vrmt_sets)
+        self.vrf = VectorRegisterFile(vc.num_registers, vc.vector_length)
+        #: Global Most Recent Backward Branch (§3.3).
+        self.gmrbb = -1
+        #: element fetches awaiting an L1 port: (reg, elem, addr).
+        self.pending_fetches: Deque[Tuple[VectorRegister, int, int]] = deque()
+        #: vector ALU work not yet scheduled onto a vector FU.
+        self.pending_alu: List[VectorAluInstance] = []
+        #: vector FU pools (mirrors the scalar pool sizes, Table 1).
+        self.vec_fu_free = {
+            cls: [0] * count for cls, count in config.fu_pool_sizes().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Decode-time decisions
+    # ------------------------------------------------------------------
+
+    def decode_load(self, entry, now: int, first_time: bool) -> Decision:
+        """Classify a dynamic load: scalar, validation, or vector trigger.
+
+        ``first_time`` is False when the instance is being re-decoded after
+        a squash; the TL is then consulted without re-training (the
+        original decode already observed this instance's address).
+        """
+        pc = entry.pc
+        addr = entry.addr
+        if first_time:
+            stride, vectorizable = self.tl.observe(pc, addr)
+        else:
+            stride, vectorizable = self.tl.is_vectorizable(pc)
+
+        mapping = self.vrmt.lookup(pc)
+        if mapping is not None:
+            return self._load_validation(pc, addr, mapping, now)
+        if vectorizable and stride is not None:
+            return self._new_load_instance(pc, addr, stride, now, chained=False)
+        return Decision(DecodeKind.SCALAR)
+
+    def _load_validation(self, pc: int, addr: int, mapping: VRMTEntry, now: int) -> Decision:
+        """VRMT hit for a load: validate the next element (chaining at VL)."""
+        snapshot = mapping.snapshot()
+        if mapping.offset >= self.vl:
+            # §3.2: offset reached the register length -> spawn the next
+            # vector instance; this dynamic instance validates its elem 0.
+            prev = mapping.reg
+            stride = (
+                prev.pred_addrs[1] - prev.pred_addrs[0]
+                if self.vl > 1
+                else (self.tl.stride_of(pc) or 0)
+            )
+            base = prev.pred_addrs[-1] + stride
+            decision = self._new_load_instance(
+                pc, base, stride, now, chained=True, actual_addr=addr
+            )
+            if decision.kind is DecodeKind.SCALAR:
+                # Pool empty: stay scalar this instance, keep the mapping so
+                # a later instance can retry the chain.
+                decision.vrmt_rollback = (pc, snapshot)
+                return decision
+            decision.vrmt_rollback = (pc, snapshot)
+            return decision
+        elem = mapping.offset
+        mapping.offset += 1
+        reg = mapping.reg
+        reg.u_flag[elem] = True
+        return Decision(
+            DecodeKind.VALIDATION,
+            reg=reg,
+            elem=elem,
+            pred_addr=reg.pred_addrs[elem],
+            counts_as_validation=True,
+            vrmt_rollback=(pc, snapshot),
+        )
+
+    def _new_load_instance(
+        self,
+        pc: int,
+        base_addr: int,
+        stride: int,
+        now: int,
+        chained: bool,
+        actual_addr: Optional[int] = None,
+    ) -> Decision:
+        """Allocate a register and launch element fetches for a load."""
+        prev_state = self.vrmt.table.peek(pc)
+        snapshot = prev_state.snapshot() if prev_state is not None else None
+        reg = self.vrf.allocate(pc, is_load=True, start_offset=0, mrbb=self.gmrbb)
+        if reg is None:
+            self.stats.vreg_alloc_failures += 1
+            self._sweep_frees(now)
+            return Decision(DecodeKind.SCALAR)
+        reg.set_load_addresses(base_addr, stride)
+        ahead = self.config.vector.fetch_ahead
+        self._enqueue_load_fetches(reg, self.vl - 1 if ahead <= 0 else ahead)
+        self.vrmt.insert(pc, VRMTEntry(reg, offset=1))
+        reg.u_flag[0] = True
+        self.stats.vector_instances += 1
+        self.stats.vector_load_instances += 1
+        self.stats.registers_allocated += 1
+        return Decision(
+            DecodeKind.TRIGGER,
+            reg=reg,
+            elem=0,
+            pred_addr=reg.pred_addrs[0],
+            counts_as_validation=chained,
+            vrmt_rollback=(pc, snapshot),
+        )
+
+    # ------------------------------------------------------------------
+
+    def decode_alu(
+        self,
+        entry,
+        src_descs: Tuple[Tuple, ...],
+        now: int,
+    ) -> Decision:
+        """Classify a dynamic arithmetic instruction.
+
+        ``src_descs`` carries one descriptor per ISA source position:
+        ``("V", reg, elem)`` for a vector-mapped register (``elem`` is the
+        element index of the current iteration), ``("S", logical, value)``
+        for a scalar-mapped register with its architectural value, or
+        ``("imm", value)``.
+        """
+        pc = entry.pc
+        any_vector = any(d[0] == "V" for d in src_descs)
+        mapping = self.vrmt.lookup(pc)
+        if mapping is None and not any_vector:
+            return Decision(DecodeKind.SCALAR)
+
+        scalar_value = self._mixed_scalar_value(src_descs)
+
+        if mapping is not None:
+            snapshot = mapping.snapshot()
+            if mapping.offset < self.vl:
+                matches = self._operands_match(mapping, src_descs, scalar_value)
+                if matches and self._source_elems_aligned(mapping, src_descs):
+                    elem = mapping.offset
+                    mapping.offset += 1
+                    reg = mapping.reg
+                    reg.u_flag[elem] = True
+                    return Decision(
+                        DecodeKind.VALIDATION,
+                        reg=reg,
+                        elem=elem,
+                        counts_as_validation=True,
+                        vrmt_rollback=(pc, snapshot),
+                    )
+            # Offset exhausted or operands changed: retire this mapping and
+            # (if still fed by vector operands) chain a new instance.
+            self.vrmt.invalidate(pc)
+            decision = (
+                self._new_alu_instance(entry, src_descs, scalar_value, now)
+                if any_vector
+                else Decision(DecodeKind.SCALAR)
+            )
+            decision.vrmt_rollback = (pc, snapshot)
+            return decision
+
+        decision = self._new_alu_instance(entry, src_descs, scalar_value, now)
+        if decision.vrmt_rollback is None:
+            decision.vrmt_rollback = (pc, None)
+        return decision
+
+    @staticmethod
+    def _operands_match(
+        mapping: VRMTEntry, src_descs: Tuple[Tuple, ...], scalar_value: Optional[Number]
+    ) -> bool:
+        """§3.2's operand check: the renamed sources must be the same
+        registers the instance was vectorized with (vector sources compare
+        by slot+generation; mixed instances also compare the captured
+        scalar *value*)."""
+        recorded = mapping.src_desc or ()
+        if len(recorded) != len(src_descs):
+            return False
+        for d, r in zip(src_descs, recorded):
+            if d[0] == "V":
+                if r[0] != "V" or r[1] != d[1].slot or r[2] != d[1].gen:
+                    return False
+            elif d[0] == "S":
+                if r != ("S", d[1]):
+                    return False
+            else:
+                if r != ("imm",):
+                    return False
+        if mapping.scalar_value is not None and mapping.scalar_value != scalar_value:
+            return False
+        return True
+
+    @staticmethod
+    def _mixed_scalar_value(src_descs: Tuple[Tuple, ...]) -> Optional[Number]:
+        """The captured scalar-register value for mixed instances (§3.2),
+        or None when no scalar register participates alongside a vector."""
+        if not any(d[0] == "V" for d in src_descs):
+            return None
+        for d in src_descs:
+            if d[0] == "S":
+                return d[2]
+        return None
+
+    def _source_elems_aligned(
+        self, mapping: VRMTEntry, src_descs: Tuple[Tuple, ...]
+    ) -> bool:
+        """Check the rename-table offsets line up with the elements this
+        validation's dest element was computed from (§3.2's operand check
+        includes the offset field of the rename table, Fig 6)."""
+        dest_elem = mapping.offset
+        start = mapping.reg.start_offset
+        for desc, recorded in zip(src_descs, mapping.src_desc or ()):
+            if desc[0] != "V" or recorded[0] != "V":
+                continue
+            base = recorded[3] if len(recorded) > 3 else 0
+            if desc[2] != dest_elem - start + base:
+                return False
+        return True
+
+    def _new_alu_instance(
+        self,
+        entry,
+        src_descs: Tuple[Tuple, ...],
+        scalar_value: Optional[Number],
+        now: int,
+    ) -> Decision:
+        pc = entry.pc
+        if not any(d[0] == "V" for d in src_descs):
+            return Decision(DecodeKind.SCALAR)
+        prev_state = self.vrmt.table.peek(pc)
+        snapshot = prev_state.snapshot() if prev_state is not None else None
+        start = max(d[2] for d in src_descs if d[0] == "V")
+        reg = self.vrf.allocate(pc, is_load=False, start_offset=start, mrbb=self.gmrbb)
+        if reg is None:
+            self.stats.vreg_alloc_failures += 1
+            self._sweep_frees(now)
+            return Decision(DecodeKind.SCALAR, vrmt_rollback=(pc, snapshot))
+        srcs: List[Tuple] = []
+        recorded_desc = []
+        for d in src_descs:
+            if d[0] == "V":
+                srcs.append(("V", d[1], d[2]))
+                recorded_desc.append(("V", d[1].slot, d[1].gen, d[2]))
+            elif d[0] == "S":
+                srcs.append(("S", d[2]))
+                recorded_desc.append(("S", d[1]))
+            else:  # immediate
+                srcs.append(("S", d[1]))
+                recorded_desc.append(("imm",))
+        instance = VectorAluInstance(reg, entry.op, srcs, start, now)
+        self.pending_alu.append(instance)
+        self.vrmt.insert(
+            pc,
+            VRMTEntry(
+                reg,
+                offset=start + 1,
+                src_desc=tuple(recorded_desc),
+                scalar_value=scalar_value,
+            ),
+        )
+        reg.u_flag[start] = True
+        self.stats.vector_instances += 1
+        self.stats.vector_alu_instances += 1
+        self.stats.registers_allocated += 1
+        if start:
+            self.stats.offset_instances += 1
+        return Decision(
+            DecodeKind.TRIGGER,
+            reg=reg,
+            elem=start,
+            vrmt_rollback=(pc, snapshot),
+        )
+
+    # ------------------------------------------------------------------
+    # The vector datapath
+    # ------------------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """Advance the vector ALU datapath: schedule every pending element
+        whose sources now have known compute times (called once per cycle)."""
+        if not self.pending_alu:
+            return
+        cancel_dead = self.config.vector.cancel_dead_fetches
+        remaining = []
+        for inst in self.pending_alu:
+            dest = inst.dest
+            if dest.freed:
+                continue
+            if cancel_dead and not dest.defunct and self._register_is_dead(dest):
+                # Future-work extension: skip computing elements nobody can
+                # ever validate (complete them as garbage so freeing and
+                # dependent timing still resolve).
+                while inst.next_elem < dest.length:
+                    if dest.r_time[inst.next_elem] is None:
+                        dest.r_time[inst.next_elem] = now
+                        self.stats.fetches_cancelled += 1
+                    inst.next_elem += 1
+                continue
+            self._schedule_alu_elements(inst, now)
+            if not inst.done:
+                remaining.append(inst)
+        self.pending_alu = remaining
+
+    def _schedule_alu_elements(self, inst: VectorAluInstance, now: int) -> None:
+        """Schedule ready elements of one ALU instance onto its vector FU."""
+        dest = inst.dest
+        fu_class = fu_class_of(inst.op)
+        latency = FU_LATENCY[fu_class]
+        pool = self.vec_fu_free[fu_class]
+        while not inst.done and inst.src_elem_known(inst.next_elem):
+            k = inst.next_elem
+            if inst.pipe_start is None:
+                unit = min(range(len(pool)), key=pool.__getitem__)
+                inst.pipe_start = max(now, pool[unit], inst.alloc_cycle + 1)
+                inst.last_issue = inst.pipe_start - 1
+                inst.fu_unit = unit
+            operands: List[Number] = []
+            src_ready = 0
+            for desc in inst.srcs:
+                if desc[0] == "V":
+                    reg, base = desc[1], desc[2]
+                    idx = k - inst.start + base
+                    operands.append(reg.values[idx])
+                    rt = reg.r_time[idx]
+                    if rt is not None:
+                        src_ready = max(src_ready, rt)
+                else:
+                    operands.append(desc[1])
+            issue = max(inst.last_issue + 1, inst.pipe_start, src_ready)
+            inst.last_issue = issue
+            pool[inst.fu_unit] = max(pool[inst.fu_unit], issue + 1)
+            a = operands[0]
+            b = operands[1] if len(operands) > 1 else 0
+            dest.values[k] = apply_alu(inst.op, a, b)
+            dest.r_time[k] = issue + latency
+            inst.next_elem += 1
+
+    def take_fetches(self, limit: int) -> List[Tuple[VectorRegister, int, int]]:
+        """Pop up to ``limit`` live element fetches for the memory stage.
+
+        Fetches whose register died (squash-orphaned then freed, or
+        defunct) are completed in place with garbage so dependents'
+        timing can resolve; they consume no port.
+        """
+        cancel_dead = self.config.vector.cancel_dead_fetches
+        out: List[Tuple[VectorRegister, int, int]] = []
+        while self.pending_fetches and len(out) < limit:
+            reg, elem, addr = self.pending_fetches.popleft()
+            if reg.freed or reg.defunct:
+                if not reg.freed and reg.r_time[elem] is None:
+                    reg.r_time[elem] = 0
+                continue
+            if cancel_dead and self._register_is_dead(reg):
+                # Future-work extension (§4.3): nothing can ever validate
+                # this register again — the fetch would be pure waste; drop
+                # it instead of burning a port and a line fill.
+                self.stats.fetches_cancelled += 1
+                if reg.r_time[elem] is None:
+                    reg.r_time[elem] = 0
+                continue
+            out.append((reg, elem, addr))
+        return out
+
+    def _enqueue_load_fetches(self, reg: VectorRegister, upto: int) -> None:
+        """Queue element fetches for ``reg`` through element ``upto``.
+
+        With ``fetch_ahead == 0`` (the paper's eager behaviour) the whole
+        register is queued at creation; with throttling, fetches trail the
+        validation stream by ``fetch_ahead`` elements so registers whose
+        loop ends early never fetch their dead tail."""
+        upto = min(upto, reg.length - 1)
+        while reg.next_fetch <= upto:
+            k = reg.next_fetch
+            reg.next_fetch += 1
+            self.pending_fetches.append((reg, k, reg.pred_addrs[k]))
+
+    def _register_is_dead(self, reg: VectorRegister) -> bool:
+        """True when no future validation can attach to ``reg``: its loop
+        has terminated, no validation is in flight, and the VRMT no longer
+        maps its PC to it (so later instances of the instruction will build
+        a fresh instance rather than consume these elements)."""
+        if reg.mrbb == self.gmrbb or any(reg.u_flag):
+            return False
+        mapping = self.vrmt.table.peek(reg.pc)
+        return mapping is None or mapping.reg is not reg
+
+    def requeue_fetches(self, fetches: List[Tuple[VectorRegister, int, int]]) -> None:
+        """Return unserviced fetches (no port / MSHR full) to the queue."""
+        for item in reversed(fetches):
+            self.pending_fetches.appendleft(item)
+
+    # ------------------------------------------------------------------
+    # Validation execution & commit
+    # ------------------------------------------------------------------
+
+    def validation_check(self, fl) -> bool:
+        """Execute-time check for a validation/trigger instruction.
+
+        Returns True when the element is good; False fires misspeculation
+        recovery in the machine (squash + scalar re-execution).
+        """
+        reg: VectorRegister = fl.vreg
+        if reg.freed or reg.defunct:
+            return False
+        if fl.pred_addr is not None and fl.pred_addr != fl.entry.addr:
+            return False
+        return True
+
+    def on_validation_failure(self, fl, now: int) -> None:
+        """Misspeculation: drop the mapping, punish the stride entry.
+
+        The failing instruction is about to be squashed and re-decoded in
+        scalar mode; its VRMT rollback is forced to *invalidate* rather
+        than restore, so a chained trigger whose predicted base was wrong
+        cannot re-chain from the stale previous instance on re-decode.
+        """
+        self.stats.validation_failures += 1
+        pc = fl.entry.pc
+        mapping = self.vrmt.table.peek(pc)
+        if mapping is not None and mapping.reg is fl.vreg:
+            self.vrmt.invalidate(pc)
+        fl.vreg.defunct = True
+        fl.vrmt_rollback = (pc, None)
+        if fl.vreg.is_load:
+            self.tl.punish(pc)
+        self._maybe_free(fl.vreg, now)
+
+    def on_validation_commit(self, fl, now: int, ports) -> None:
+        """A validation (or trigger) reached commit: element becomes Valid."""
+        reg: VectorRegister = fl.vreg
+        k = fl.velem
+        if self.config.check_invariants:
+            expected = fl.entry.value
+            got = reg.values[k]
+            if got != expected and not (
+                isinstance(got, float)
+                and isinstance(expected, float)
+                and got != got
+                and expected != expected
+            ):  # NaN compares unequal to itself but is the same datum
+                raise MisspeculationError(
+                    f"validation committed wrong value at pc {fl.entry.pc} "
+                    f"seq {fl.entry.seq} elem {k}: vector={got!r} "
+                    f"architectural={expected!r}"
+                )
+        reg.v_flag[k] = True
+        reg.u_flag[k] = False
+        if reg.is_load:
+            txn = reg.txn_ids[k]
+            if txn is not None:
+                ports.element_validated(txn)
+            ahead = self.config.vector.fetch_ahead
+            if ahead > 0:
+                self._enqueue_load_fetches(reg, k + ahead)
+            if k == reg.length - 1:
+                self.tl.reward(fl.entry.pc)
+        if fl.counts_as_validation:
+            self.stats.validations_committed += 1
+        self._maybe_free(reg, now)
+
+    def on_flush_entry(self, fl, now: int) -> None:
+        """Roll back the decode-time effects of one squashed instruction
+        (called youngest-first).  Vector registers themselves survive —
+        §3.5's control-flow independence — only the scalar-side bookkeeping
+        (VRMT offsets, U flags) rewinds."""
+        if fl.vrmt_rollback is not None:
+            pc, snapshot = fl.vrmt_rollback
+            self.vrmt.restore(pc, snapshot)
+        reg: Optional[VectorRegister] = fl.vreg
+        if reg is not None and not reg.freed and fl.velem >= 0:
+            reg.u_flag[fl.velem] = False
+            self._maybe_free(reg, now)
+
+    # ------------------------------------------------------------------
+    # Store coherence (§3.6)
+    # ------------------------------------------------------------------
+
+    def on_store_commit(self, addr: int, now: int) -> bool:
+        """Check a committing store against all live load-register ranges.
+
+        Returns True when the store invalidated at least one register that
+        still had speculative (unvalidated) elements — the machine must
+        then squash every younger instruction.
+        """
+        conflict = False
+        for reg in self.vrf.live_registers():
+            if reg.defunct or not reg.covers(addr):
+                continue
+            # Only elements that are still speculative can be corrupted:
+            # an already-validated element's load instance committed before
+            # this store, so the architectural order is load-then-store and
+            # the old value was the correct one.  (In-place stream updates —
+            # y[i] = f(y[i]) — rely on this: the store to y[i] always lands
+            # on the just-validated element, never on the speculative tail.)
+            if not any(
+                (not reg.v_flag[k]) and reg.pred_addrs[k] == addr
+                for k in range(reg.start_offset, reg.length)
+            ):
+                continue
+            conflict = True
+            reg.defunct = True
+            mapping = self.vrmt.table.peek(reg.pc)
+            if mapping is not None and mapping.reg is reg:
+                self.vrmt.invalidate(reg.pc)
+            self.tl.punish(reg.pc)
+        if conflict:
+            self.stats.store_conflicts += 1
+        return conflict
+
+    # ------------------------------------------------------------------
+    # Freeing & loop tracking (§3.3)
+    # ------------------------------------------------------------------
+
+    def on_backward_branch_commit(self, pc: int, now: int) -> None:
+        """Update GMRBB; a change may release registers via rule 2."""
+        if pc != self.gmrbb:
+            self.gmrbb = pc
+            self._sweep_frees(now)
+
+    def set_element_freed(self, reg: VectorRegister, gen: int, elem: int, now: int) -> None:
+        """The next writer of the element's logical register committed: the
+        element's F flag rises (machine calls this from commit)."""
+        if reg.freed or reg.gen != gen:
+            return
+        reg.f_flag[elem] = True
+        self._maybe_free(reg, now)
+
+    def _maybe_free(self, reg: VectorRegister, now: int) -> None:
+        if reg.freed or not reg.should_free(now, self.gmrbb):
+            return
+        used, unused, not_computed = reg.element_fates(now)
+        self.stats.elements_computed_used += used
+        self.stats.elements_computed_unused += unused
+        self.stats.elements_not_computed += not_computed
+        self.stats.registers_freed += 1
+        self.vrf.free(reg)
+
+    def _sweep_frees(self, now: int) -> None:
+        throttled = self.config.vector.fetch_ahead > 0
+        for reg in self.vrf.live_registers():
+            if (
+                throttled
+                and reg.is_load
+                and not reg.abandoned
+                and reg.next_fetch < reg.length
+                and self._register_is_dead(reg)
+            ):
+                # Throttled-fetch extension: the register's tail was never
+                # requested and never will be — count the saved fetches and
+                # stop the unscheduled elements from pinning the register.
+                self.stats.fetches_cancelled += reg.length - reg.next_fetch
+                reg.abandoned = True
+            self._maybe_free(reg, now)
+
+    # ------------------------------------------------------------------
+
+    def finalize(self, now: int) -> None:
+        """End of run: account element fates of still-live registers."""
+        for reg in self.vrf.live_registers():
+            used, unused, not_computed = reg.element_fates(now)
+            self.stats.elements_computed_used += used
+            self.stats.elements_computed_unused += unused
+            self.stats.elements_not_computed += not_computed

@@ -1,0 +1,85 @@
+"""Vector Register Map Table (VRMT): PC -> vector register (paper §3.2, Fig 5).
+
+Each entry remembers, for a vectorized static instruction:
+
+* the vector register currently holding its precomputed results,
+* the *offset* — the element the next dynamic instance will validate,
+* the source-operand descriptors the instance was vectorized with (so a
+  later instance whose renamed sources differ forces re-vectorization),
+* for mixed vector/scalar instructions, the scalar register *value* that
+  was captured when the instance was created.
+
+The table is 4-way set-associative with 64 sets (Table 1); evicting an
+entry orphans its register, which then drains through the normal freeing
+rules.
+
+Source descriptors are tuples: ``("S", logical)`` for a scalar-mapped
+source register, ``("V", slot, gen)`` for a vector-mapped one, and
+``("imm",)`` for an immediate.  Loads store no descriptors — their
+validation compares predicted vs. actual *addresses* instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from .tables import SetAssocTable
+from .vector_regfile import VectorRegister
+
+SourceDesc = Tuple
+Number = Union[int, float]
+
+
+@dataclass
+class VRMTEntry:
+    """One VRMT row (Fig 5: PC, offset, source operands, scalar value)."""
+
+    reg: VectorRegister
+    offset: int
+    src_desc: Optional[Tuple[SourceDesc, ...]] = None
+    scalar_value: Optional[Number] = None
+
+    def snapshot(self) -> "VRMTEntry":
+        """A copy for squash-rollback (offsets rewind on flush)."""
+        return VRMTEntry(self.reg, self.offset, self.src_desc, self.scalar_value)
+
+
+class VRMT:
+    """The map table plus snapshot/rollback support for squashes."""
+
+    def __init__(self, ways: int = 4, sets: int = 64) -> None:
+        self.table: SetAssocTable[VRMTEntry] = SetAssocTable(ways, sets)
+        self.orphaned_registers = 0
+
+    def lookup(self, pc: int) -> Optional[VRMTEntry]:
+        """The live entry for ``pc``, or None."""
+        entry = self.table.lookup(pc)
+        if entry is not None and (entry.reg.freed or entry.reg.defunct):
+            # The register died underneath the mapping; drop the stale entry.
+            self.table.invalidate(pc)
+            return None
+        return entry
+
+    def insert(self, pc: int, entry: VRMTEntry) -> None:
+        """Install/replace the mapping for ``pc``; evictions orphan registers."""
+        evicted = self.table.insert(pc, entry)
+        if evicted is not None and not evicted.reg.freed:
+            self.orphaned_registers += 1
+
+    def invalidate(self, pc: int) -> Optional[VRMTEntry]:
+        """Remove the mapping for ``pc`` (store conflict / misspeculation)."""
+        return self.table.invalidate(pc)
+
+    def restore(self, pc: int, snapshot: Optional[VRMTEntry]) -> None:
+        """Rollback for a squashed instruction: reinstate the pre-dispatch
+        state (None means there was no entry)."""
+        if snapshot is None:
+            self.table.invalidate(pc)
+        else:
+            self.table.insert(pc, snapshot)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Hardware cost per §4.1: ways * sets * 18 bytes per entry."""
+        return self.table.ways * self.table.sets * 18

@@ -1,0 +1,47 @@
+"""Experiment harness: one runner per figure of the paper's evaluation."""
+
+from .ablations import (
+    confidence_sweep,
+    damping_ablation,
+    speculation_throttling,
+    register_count_sweep,
+    vector_length_sweep,
+)
+from .figures import (
+    fig01_stride_distribution,
+    fig03_vectorizable,
+    fig07_scalar_blocking,
+    fig09_offsets,
+    fig10_control_independence,
+    fig11_ipc,
+    fig12_port_occupancy,
+    fig13_wide_bus,
+    fig14_validations,
+    fig15_prediction_accuracy,
+    headline_claims,
+)
+from .runner import EXPERIMENT_SCALE, MODES, PORT_COUNTS, label, run_point
+
+__all__ = [
+    "confidence_sweep",
+    "damping_ablation",
+    "speculation_throttling",
+    "register_count_sweep",
+    "vector_length_sweep",
+    "fig01_stride_distribution",
+    "fig03_vectorizable",
+    "fig07_scalar_blocking",
+    "fig09_offsets",
+    "fig10_control_independence",
+    "fig11_ipc",
+    "fig12_port_occupancy",
+    "fig13_wide_bus",
+    "fig14_validations",
+    "fig15_prediction_accuracy",
+    "headline_claims",
+    "EXPERIMENT_SCALE",
+    "MODES",
+    "PORT_COUNTS",
+    "label",
+    "run_point",
+]

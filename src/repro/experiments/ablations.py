@@ -1,0 +1,149 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+The paper fixes several parameters with one-line justifications (4-element
+vector registers because the average vector length is ~8; a confidence
+threshold of 2; 128 registers) and flags the volume of useless speculative
+work as future work.  Each function here sweeps one of those choices over
+the full benchmark suite and reports the metrics that choice trades off.
+
+All sweeps run on the paper's 4-way machine with one wide port (the V
+configuration of Fig 11) unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from ..pipeline.config import make_config
+from ..pipeline.machine import Machine
+from ..pipeline.stats import SimStats
+from ..workloads.spec95 import ALL_BENCHMARKS, cached_trace
+from .runner import EXPERIMENT_SCALE
+
+Rows = Dict[str, Dict[str, float]]
+
+
+@lru_cache(maxsize=None)
+def _run(name: str, scale: int, overrides: Tuple[Tuple[str, object], ...]) -> SimStats:
+    config = make_config(4, 1, "V")
+    for key, value in overrides:
+        setattr(config.vector, key, value)
+    return Machine(config, cached_trace(name, scale)).run()
+
+
+def vector_length_sweep(
+    lengths: Tuple[int, ...] = (2, 4, 8), scale: int = EXPERIMENT_SCALE
+) -> Rows:
+    """IPC as a function of elements per vector register.
+
+    The paper picks 4 because the measured average vector length is 8.84
+    (SpecInt) / 7.37 (SpecFP): longer registers overshoot loop ends, and
+    shorter ones chain (and re-check) too often.
+    """
+    out: Rows = {}
+    for name in ALL_BENCHMARKS:
+        out[name] = {
+            f"VL={vl}": _run(name, scale, (("vector_length", vl),)).ipc
+            for vl in lengths
+        }
+    return out
+
+
+def register_count_sweep(
+    counts: Tuple[int, ...] = (8, 32, 128), scale: int = EXPERIMENT_SCALE
+) -> Rows:
+    """IPC and allocation failures vs. vector register file size.
+
+    §3.3 calls vector registers "one of the most critical resources";
+    this sweep quantifies how quickly the mechanism starves below the
+    paper's 128.
+    """
+    out: Rows = {}
+    for name in ALL_BENCHMARKS:
+        row: Dict[str, float] = {}
+        for n in counts:
+            stats = _run(name, scale, (("num_registers", n),))
+            row[f"R={n}"] = stats.ipc
+            row[f"fail@{n}"] = float(stats.vreg_alloc_failures)
+        out[name] = row
+    return out
+
+
+def confidence_sweep(
+    thresholds: Tuple[int, ...] = (1, 2, 4), scale: int = EXPERIMENT_SCALE
+) -> Rows:
+    """Stride-confidence threshold vs. IPC and misspeculation rate.
+
+    Threshold 1 vectorizes on the second consistent instance (eager, more
+    misspeculation); the paper's 2 needs three instances; higher values
+    trade coverage for safety.
+    """
+    out: Rows = {}
+    for name in ALL_BENCHMARKS:
+        row: Dict[str, float] = {}
+        for t in thresholds:
+            stats = _run(name, scale, (("confidence_threshold", t),))
+            row[f"conf={t}"] = stats.ipc
+            row[f"fail@{t}"] = float(stats.validation_failures)
+        out[name] = row
+    return out
+
+
+def damping_ablation(scale: int = EXPERIMENT_SCALE) -> Rows:
+    """The TL failure-damping ladder (this reproduction's addition) on/off.
+
+    Without damping, a spill slot that is stored and reloaded every
+    iteration re-vectorizes after the minimum three instances, conflicts
+    with the next store and squashes the pipeline, repeatedly — the
+    pathology DESIGN.md §5 documents.  This ablation shows the squash
+    counts and IPC with the paper's literal rule versus the damped one.
+    """
+    out: Rows = {}
+    for name in ALL_BENCHMARKS:
+        damped = _run(name, scale, (("tl_damping", True),))
+        literal = _run(name, scale, (("tl_damping", False),))
+        out[name] = {
+            "ipc_damped": damped.ipc,
+            "ipc_literal": literal.ipc,
+            "squash_damped": float(damped.store_conflicts + damped.validation_failures),
+            "squash_literal": float(
+                literal.store_conflicts + literal.validation_failures
+            ),
+        }
+    return out
+
+
+def speculation_throttling(
+    fetch_ahead: int = 2, scale: int = EXPERIMENT_SCALE
+) -> Rows:
+    """The future-work extension: throttle speculative element fetching.
+
+    §4.3: "more than half of the speculative work is useless ... there may
+    be an issue for power consumption.  Reducing the number of
+    misspeculations is an area left for future work."  With
+    ``fetch_ahead=d``, element fetches trail the validation stream by at
+    most ``d`` elements (plus dead registers cancel their queued work), so
+    registers whose loop ends early never fetch their dead tail.
+
+    The study is deliberately honest about the trade-off it finds: the
+    throttle removes useless fetches (``cancelled`` column, lower
+    ``unused``) but also defeats some wide-bus coalescing and adds
+    commit-to-fetch latency, so IPC drops a few percent — i.e. the paper's
+    future work is a real trade-off, not a free lunch.
+    """
+    overrides = (("fetch_ahead", fetch_ahead), ("cancel_dead_fetches", True))
+    out: Rows = {}
+    for name in ALL_BENCHMARKS:
+        base = _run(name, scale, ())
+        ext = _run(name, scale, overrides)
+        out[name] = {
+            "ipc_eager": base.ipc,
+            "ipc_throttled": ext.ipc,
+            "reads_eager": float(base.read_accesses),
+            "reads_throttled": float(ext.read_accesses),
+            "cancelled": float(ext.fetches_cancelled),
+            "unused_eager": base.avg_elements["computed_unused"],
+            "unused_throttled": ext.avg_elements["computed_unused"],
+        }
+    return out

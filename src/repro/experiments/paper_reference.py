@@ -1,0 +1,60 @@
+"""Reference values digitised from the paper, for paper-vs-measured reports.
+
+Only numbers the paper states in its text (or that are unambiguous from
+the figures' axes) are recorded; bar charts without printed values are
+described by their qualitative *shape* instead, and the comparison
+helpers check shape, not magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: §1 / §4.3 / §6 scalar claims.
+HEADLINE: Dict[str, float] = {
+    "speedup_1pV_vs_4pnoIM": 0.19,
+    "speedup_1pV_vs_8way_4pnoIM": 0.03,
+    "int_ipc_gain_over_IM": 0.212,
+    "fp_ipc_gain_over_IM": 0.081,
+    "int_mem_reduction": 0.15,
+    "fp_mem_reduction": 0.20,
+    "int_validation_fraction": 0.28,
+    "fp_validation_fraction": 0.23,
+}
+
+#: §2: fraction of strided loads below the 4-word line size.
+SMALL_STRIDE_FRACTION = {"int": 0.979, "fp": 0.813}
+
+#: Figure 3 (text): vectorizable fraction with unbounded resources.
+VECTORIZABLE_FRACTION = {"int": 0.47, "fp": 0.51}
+
+#: Figure 15 (text): average computed / validated elements per register.
+ELEMENTS = {"computed": 3.75, "validated": 1.75}
+
+#: Figure 10 (text): reuse among the 100 post-mispredict instructions.
+CFI_REUSE_INT = 0.17
+
+#: §3.6 (text): stores whose address falls in a vector register range.
+STORE_CONFLICT_RATE = {"int": 0.045, "fp": 0.025}
+
+#: Figure 11 discussion (text): 8-way 1-port average IPC, noIM -> IM.
+EIGHT_WAY_1PORT_IPC = {"noIM": 1.77, "IM": 2.16}
+
+#: Qualitative shapes asserted by tests and reported in EXPERIMENTS.md.
+SHAPES = (
+    "stride 0 and stride 1 dominate both suites (Fig 1)",
+    "SpecFP is more vectorizable than the SpecInt average (Fig 3)",
+    "real IPC <= ideal IPC, with a small gap (Fig 7)",
+    "nonzero-offset vector instances are a small minority (Fig 9)",
+    "post-mispredict reuse is nonzero wherever mispredictions occur (Fig 10)",
+    "IPC ordering V >= IM >= noIM on the suite average at every port count (Fig 11)",
+    "port occupancy falls IM -> V for heavy validators (Fig 12)",
+    "multi-word reads are a significant fraction on the wide bus (Fig 13)",
+    "validation fraction is a quarter-ish of instructions (Fig 14)",
+    "validated < computed elements: over-speculation is real (Fig 15)",
+)
+
+
+def same_sign(measured: float, paper: float) -> bool:
+    """Direction check used for the headline claims."""
+    return (measured > 0) == (paper > 0)

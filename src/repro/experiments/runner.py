@@ -1,0 +1,52 @@
+"""Shared experiment execution with memoization.
+
+The paper's evaluation sweeps the same 12 benchmarks over a grid of
+machine configurations; several figures reuse the same runs (Fig 11's IPC
+and Fig 12's occupancy come from identical simulations).  This module
+caches both the functional traces and the timing results so the full
+figure set costs one simulation per (benchmark, width, ports, mode)
+point.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..pipeline.config import make_config
+from ..pipeline.machine import Machine
+from ..pipeline.stats import SimStats
+from ..workloads.spec95 import cached_trace
+
+#: default dynamic instruction budget per benchmark for experiments; large
+#: enough for steady-state statistics, small enough for a pure-Python
+#: cycle-level model (DESIGN.md §5.3).
+EXPERIMENT_SCALE = 12_000
+
+#: the paper's port counts and memory modes (Fig 11/12 grid).
+PORT_COUNTS = (1, 2, 4)
+MODES = ("noIM", "IM", "V")
+
+
+@lru_cache(maxsize=None)
+def run_point(
+    name: str,
+    width: int = 4,
+    ports: int = 1,
+    mode: str = "V",
+    scale: int = EXPERIMENT_SCALE,
+    block_on_scalar_operand: bool = True,
+) -> SimStats:
+    """Simulate benchmark ``name`` on one machine-configuration point.
+
+    Results are memoized for the lifetime of the process; callers must
+    treat the returned :class:`SimStats` as immutable.
+    """
+    trace = cached_trace(name, scale)
+    config = make_config(width, ports, mode)
+    config.vector.block_on_scalar_operand = block_on_scalar_operand
+    return Machine(config, trace).run()
+
+
+def label(ports: int, mode: str) -> str:
+    """The paper's configuration label, e.g. ``2pIM``."""
+    return f"{ports}p{mode}"

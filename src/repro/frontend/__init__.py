@@ -1,0 +1,12 @@
+"""Front end: branch prediction and trace-driven fetch."""
+
+from .branch_predictor import GsharePredictor, IndirectPredictor, PredictorStats
+from .fetch import FetchUnit, FetchedInstr
+
+__all__ = [
+    "GsharePredictor",
+    "IndirectPredictor",
+    "PredictorStats",
+    "FetchUnit",
+    "FetchedInstr",
+]

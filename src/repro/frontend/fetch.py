@@ -1,0 +1,135 @@
+"""Trace-driven fetch unit.
+
+Walks the dynamic trace in order, modelling:
+
+* fetch width (at most ``width`` instructions per cycle),
+* at most one taken control transfer per cycle (Table 1: "up to 1 taken
+  branch"),
+* I-cache hits/misses on the fetch group's line,
+* the misprediction bubble: after fetching a mispredicted branch the unit
+  blocks until the back end resolves the branch and calls
+  :meth:`redirect` (trace-driven models cannot execute the wrong path, so
+  its cost is this fetch starvation plus the configured refill penalty —
+  DESIGN.md §5.1).
+
+The back end may also rewind the unit to an arbitrary sequence number with
+:meth:`redirect` when it squashes (vector misspeculation recovery, store
+coherence squash) — the entries from that point are simply re-fetched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..functional.trace import Trace, TraceEntry
+from ..isa.opcodes import Opcode
+from ..isa.program import INSTR_BYTES
+from ..memory.hierarchy import MemoryHierarchy
+from .branch_predictor import GsharePredictor, IndirectPredictor
+
+
+class FetchedInstr:
+    """A fetched trace entry plus front-end metadata."""
+
+    __slots__ = ("entry", "mispredicted", "fetch_cycle")
+
+    def __init__(self, entry: TraceEntry, mispredicted: bool, fetch_cycle: int) -> None:
+        self.entry = entry
+        self.mispredicted = mispredicted
+        self.fetch_cycle = fetch_cycle
+
+
+class FetchUnit:
+    """In-order front end feeding the dispatch stage from a trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        hierarchy: MemoryHierarchy,
+        width: int,
+        gshare_entries: int = 64 * 1024,
+    ) -> None:
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.width = width
+        self.gshare = GsharePredictor(entries=gshare_entries)
+        self.indirect = IndirectPredictor()
+        self._index = 0
+        #: cycle before which no fetch may happen (I-cache miss or redirect).
+        self._stalled_until = 0
+        #: True while waiting for a mispredicted branch to resolve.
+        self._blocked = False
+        self._last_line: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every trace entry has been fetched (and no rewind is
+        pending)."""
+        return self._index >= len(self.trace.entries) and not self._blocked
+
+    def redirect(self, seq: int, resume_cycle: int) -> None:
+        """Restart fetching at trace position ``seq`` from ``resume_cycle``.
+
+        Used both for branch-misprediction resolution and for back-end
+        squashes.  ``seq`` may be anywhere at or before the current
+        position.
+        """
+        self._index = seq
+        self._stalled_until = resume_cycle
+        self._blocked = False
+        self._last_line = None
+
+    # ------------------------------------------------------------------
+
+    def fetch_cycle_group(self, now: int, room: int) -> List[FetchedInstr]:
+        """Fetch up to ``min(width, room)`` instructions for cycle ``now``.
+
+        ``room`` is the space left in the machine's fetch/dispatch queue.
+        Returns an empty list while blocked or stalled.
+        """
+        if self._blocked or now < self._stalled_until:
+            return []
+        entries = self.trace.entries
+        n = len(entries)
+        if self._index >= n:
+            return []
+        group: List[FetchedInstr] = []
+        budget = min(self.width, room)
+        while budget > 0 and self._index < n:
+            entry = entries[self._index]
+            # I-cache: probe when the group crosses into a new line.
+            line = (entry.pc * INSTR_BYTES) // self.hierarchy.config.l1i_line
+            if line != self._last_line:
+                ready = self.hierarchy.inst_access(entry.pc * INSTR_BYTES, now)
+                self._last_line = line
+                if ready > now + self.hierarchy.config.l1i_hit_latency:
+                    # Miss: this group ends; retry once the line arrives.
+                    self._stalled_until = ready
+                    if group:
+                        # Group formed so far still issues this cycle.
+                        return group
+                    return []
+            mispredicted = False
+            taken = entry.taken
+            op = entry.op
+            if entry.is_branch:
+                correct = self.gshare.predict_and_update(entry.pc, taken)
+                mispredicted = not correct
+            elif op is Opcode.JR:
+                correct = self.indirect.predict_and_update(entry.pc, entry.next_pc)
+                mispredicted = not correct
+            # Direct J/JAL: perfect BTB, taken, never mispredicted.
+            self._index += 1
+            group.append(FetchedInstr(entry, mispredicted, now))
+            budget -= 1
+            if mispredicted:
+                # Fetch goes down the wrong path; starve until resolution.
+                self._blocked = True
+                break
+            if entry.is_control and taken:
+                # At most one taken control transfer per cycle.
+                self._last_line = None
+                break
+        return group

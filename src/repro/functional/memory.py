@@ -1,0 +1,71 @@
+"""Sparse word-granular memory image.
+
+The architecture's memory is an array of 64-bit words; the simulator keeps
+it as a sparse dict keyed by byte address (always ``WORD_SIZE``-aligned).
+Unwritten words read as zero, which the workload generators rely on for
+zero-initialized buffers.
+
+Both the functional interpreter and the timing model's *commit-time* memory
+image (the one speculative vector loads read from — see DESIGN.md §2) use
+this class, so the two views can never diverge semantically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+from ..isa.program import WORD_SIZE
+
+Number = Union[int, float]
+
+
+class MisalignedAccess(Exception):
+    """Raised when an address is not word-aligned."""
+
+
+class MemoryImage:
+    """A sparse, word-addressed 64-bit memory."""
+
+    __slots__ = ("_words",)
+
+    def __init__(self, initial: Mapping[int, Number] = ()) -> None:
+        self._words: Dict[int, Number] = dict(initial)
+        for addr in self._words:
+            if addr % WORD_SIZE:
+                raise MisalignedAccess(f"misaligned initial word at {addr:#x}")
+
+    def load(self, addr: int) -> Number:
+        """Read the word at ``addr`` (zero if never written)."""
+        if addr % WORD_SIZE:
+            raise MisalignedAccess(f"misaligned load at {addr:#x}")
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value: Number) -> None:
+        """Write ``value`` to the word at ``addr``."""
+        if addr % WORD_SIZE:
+            raise MisalignedAccess(f"misaligned store at {addr:#x}")
+        self._words[addr] = value
+
+    def copy(self) -> "MemoryImage":
+        """An independent snapshot of the current contents."""
+        clone = MemoryImage()
+        clone._words = dict(self._words)
+        return clone
+
+    def items(self) -> Iterator[Tuple[int, Number]]:
+        """Iterate ``(address, value)`` for every written word."""
+        return iter(self._words.items())
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryImage):
+            return NotImplemented
+        # Compare modulo zero-valued words: an explicit 0 equals an absent word.
+        mine = {a: v for a, v in self._words.items() if v != 0}
+        theirs = {a: v for a, v in other._words.items() if v != 0}
+        return mine == theirs
+
+    def __hash__(self) -> int:  # pragma: no cover - images are not hashable keys
+        raise TypeError("MemoryImage is mutable and unhashable")

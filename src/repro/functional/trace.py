@@ -1,0 +1,109 @@
+"""Dynamic-trace records produced by the functional interpreter.
+
+The timing model is trace-driven: the functional interpreter executes the
+program architecturally and emits one :class:`TraceEntry` per retired
+instruction; the cycle-level model then replays that stream through the
+pipeline structures.  Each entry therefore carries everything any pipeline
+stage could need — source values (for the VRMT scalar-operand check),
+memory address and result (for stride detection and validation), and branch
+outcome (for the predictor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from .memory import MemoryImage
+
+Number = Union[int, float]
+
+
+@dataclass(slots=True)
+class TraceEntry:
+    """One retired dynamic instruction.
+
+    Attributes:
+        seq: position in the dynamic stream (0-based).
+        pc: static instruction index.
+        op: opcode.
+        rd / rs1 / rs2: encoded register ids (``NO_REG`` when absent).
+        imm: the instruction immediate.
+        s1 / s2: architectural values read from ``rs1`` / ``rs2``.
+        value: the value written to ``rd`` (loads included) or, for stores,
+            the value written to memory.
+        addr: effective byte address for memory operations, else -1.
+        taken: branch/jump outcome (unconditional control is always taken).
+        next_pc: pc of the next retired instruction (HALT repeats its own).
+    """
+
+    seq: int
+    pc: int
+    op: Opcode
+    rd: int
+    rs1: int
+    rs2: int
+    imm: int
+    s1: Number
+    s2: Number
+    value: Number
+    addr: int
+    taken: bool
+    next_pc: int
+
+    @property
+    def is_load(self) -> bool:
+        return self.op is Opcode.LD or self.op is Opcode.FLD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op is Opcode.ST or self.op is Opcode.FST
+
+    @property
+    def is_branch(self) -> bool:
+        o = self.op
+        return Opcode.BEQ <= o <= Opcode.BGE
+
+    @property
+    def is_control(self) -> bool:
+        o = self.op
+        return Opcode.BEQ <= o <= Opcode.JAL
+
+
+@dataclass
+class Trace:
+    """A full functional execution: entries plus boundary state.
+
+    Attributes:
+        program: the program that produced the trace.
+        entries: retired instructions in order.
+        initial_memory: memory image *before* execution (the timing model's
+            commit-time image starts from a copy of this).
+        final_memory: memory image after execution.
+        final_int_regs / final_fp_regs: architectural register state at halt.
+        halted: True if execution reached HALT (False = instruction cap hit).
+    """
+
+    program: Program
+    entries: List[TraceEntry]
+    initial_memory: MemoryImage
+    final_memory: MemoryImage
+    final_int_regs: List[int] = field(default_factory=list)
+    final_fp_regs: List[float] = field(default_factory=list)
+    halted: bool = True
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, i: int) -> TraceEntry:
+        return self.entries[i]
+
+    @property
+    def dynamic_count(self) -> int:
+        """Number of retired dynamic instructions."""
+        return len(self.entries)

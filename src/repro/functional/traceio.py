@@ -1,0 +1,163 @@
+"""Trace serialization: save/load dynamic traces as JSON-lines.
+
+The timing model is trace-driven, so a serialized trace is a complete,
+self-contained simulation input — useful for regression fixtures (pin a
+trace, assert cycle counts), for sharing a misbehaving workload without
+its generator, and for offline analysis in other tools.
+
+Format: one JSON object per line.
+
+* line 1 — header: format version, entry count, halted flag, program
+  listing length;
+* line 2 — the initial memory image (address -> value map);
+* line 3 — final register state;
+* following lines — one per :class:`~repro.functional.trace.TraceEntry`,
+  as a compact positional array.
+
+Floats round-trip exactly (JSON numbers are IEEE doubles, the same type
+the simulator computes with).  The :class:`~repro.isa.program.Program`
+itself is *not* serialized — a loaded trace carries a stub program that
+supports exactly what the timing model needs (``is_backward`` per PC and
+``len``), reconstructed from the trace's control-flow facts.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import IO, List, Union
+
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.program import Program
+from .memory import MemoryImage
+from .trace import Trace, TraceEntry
+
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(Exception):
+    """Raised when a stream does not hold a valid serialized trace."""
+
+
+def dump_trace(trace: Trace, stream: IO[str]) -> None:
+    """Serialize ``trace`` to a text stream (JSON lines)."""
+    header = {
+        "format": FORMAT_VERSION,
+        "entries": len(trace.entries),
+        "halted": trace.halted,
+        "program_len": len(trace.program),
+    }
+    stream.write(json.dumps(header) + "\n")
+    stream.write(
+        json.dumps({str(addr): value for addr, value in trace.initial_memory.items()})
+        + "\n"
+    )
+    stream.write(
+        json.dumps(
+            {"int": trace.final_int_regs, "fp": trace.final_fp_regs}
+        )
+        + "\n"
+    )
+    for e in trace.entries:
+        stream.write(
+            json.dumps(
+                [
+                    e.seq,
+                    e.pc,
+                    int(e.op),
+                    e.rd,
+                    e.rs1,
+                    e.rs2,
+                    e.imm,
+                    e.s1,
+                    e.s2,
+                    e.value,
+                    e.addr,
+                    1 if e.taken else 0,
+                    e.next_pc,
+                ]
+            )
+            + "\n"
+        )
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize ``trace`` to a string."""
+    buf = io.StringIO()
+    dump_trace(trace, buf)
+    return buf.getvalue()
+
+
+def _stub_program(program_len: int, entries: List[TraceEntry]) -> Program:
+    """Reconstruct a program skeleton adequate for the timing model.
+
+    Only control-flow direction matters (GMRBB tracking): any pc observed
+    taking a non-JR control transfer is rebuilt as a branch with its
+    observed target; everything else becomes NOP.
+    """
+    instructions = [Instruction(Opcode.NOP) for _ in range(max(1, program_len))]
+    for e in entries:
+        if e.is_control and e.op is not Opcode.JR:
+            instructions[e.pc] = Instruction(
+                Opcode(e.op), rs1=0, rs2=0, target=e.next_pc if e.taken else e.pc + 1
+            )
+        elif e.op is Opcode.JR:
+            instructions[e.pc] = Instruction(Opcode.JR, rs1=0)
+    return Program(instructions)
+
+
+def load_trace(stream: IO[str]) -> Trace:
+    """Deserialize a trace written by :func:`dump_trace`."""
+    try:
+        header = json.loads(stream.readline())
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError("bad header line") from exc
+    if header.get("format") != FORMAT_VERSION:
+        raise TraceFormatError(f"unsupported format {header.get('format')!r}")
+    memory_line = json.loads(stream.readline())
+    regs_line = json.loads(stream.readline())
+    initial = MemoryImage({int(addr): value for addr, value in memory_line.items()})
+    entries: List[TraceEntry] = []
+    for _ in range(header["entries"]):
+        row = json.loads(stream.readline())
+        if len(row) != 13:
+            raise TraceFormatError(f"bad entry row of length {len(row)}")
+        entries.append(
+            TraceEntry(
+                seq=row[0],
+                pc=row[1],
+                op=Opcode(row[2]),
+                rd=row[3],
+                rs1=row[4],
+                rs2=row[5],
+                imm=row[6],
+                s1=row[7],
+                s2=row[8],
+                value=row[9],
+                addr=row[10],
+                taken=bool(row[11]),
+                next_pc=row[12],
+            )
+        )
+    # Rebuild the final memory by replaying stores over the initial image.
+    final = initial.copy()
+    for e in entries:
+        if e.is_store:
+            final.store(e.addr, e.value)
+    return Trace(
+        program=_stub_program(header["program_len"], entries),
+        entries=entries,
+        initial_memory=initial,
+        final_memory=final,
+        final_int_regs=list(regs_line["int"]),
+        final_fp_regs=list(regs_line["fp"]),
+        halted=header["halted"],
+    )
+
+
+def loads_trace(text: Union[str, bytes]) -> Trace:
+    """Deserialize a trace from a string."""
+    if isinstance(text, bytes):
+        text = text.decode("utf-8")
+    return load_trace(io.StringIO(text))

@@ -1,0 +1,128 @@
+"""Binary instruction encoding: 32-bit machine words for the repro ISA.
+
+The simulator itself works on :class:`~repro.isa.instruction.Instruction`
+objects, but a complete ISA needs a machine-code format — it is what the
+paper's "legacy binaries" argument is about: the mechanism vectorizes code
+compiled long before any SIMD extension existed, so programs must be
+storable as plain words.
+
+Format (little-endian bit numbering)::
+
+    [31:26] opcode   (6 bits, Opcode value)
+    [25:20] rd       (6 bits, flat register id; 63 = none)
+    [19:14] rs1      (6 bits)
+    [13:8]  rs2      (6 bits)
+    [7:0]   -        reserved / unused for register forms
+
+Instructions carrying an immediate or a control-flow target use the wide
+form: the first word as above plus a second 32-bit word holding the
+signed immediate / target (so the format is variable length: 1 or 2
+words).  :func:`encode_program` and :func:`decode_program` handle whole
+programs, and the round trip is exact for every encodable instruction.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Tuple
+
+from .instruction import Instruction
+from .opcodes import BRANCH_OPS, INT_RI_OPS, MEM_OPS, Opcode
+from .registers import NO_REG
+
+#: register-field value used to encode "no register".
+_NO_REG_FIELD = 63
+
+#: opcodes whose encoding carries a second (immediate/target) word.
+WIDE_OPS = frozenset(
+    INT_RI_OPS | MEM_OPS | BRANCH_OPS | {Opcode.LI, Opcode.J, Opcode.JAL}
+)
+
+_IMM_MIN = -(1 << 31)
+_IMM_MAX = (1 << 31) - 1
+
+
+class EncodingError(Exception):
+    """Raised for unencodable fields or malformed machine code."""
+
+
+def _reg_field(reg: int) -> int:
+    if reg == NO_REG:
+        return _NO_REG_FIELD
+    if not 0 <= reg < 63:
+        raise EncodingError(f"register id out of encodable range: {reg}")
+    return reg
+
+
+def _field_reg(field: int) -> int:
+    return NO_REG if field == _NO_REG_FIELD else field
+
+
+def encode_instruction(ins: Instruction) -> List[int]:
+    """Encode one instruction into one or two 32-bit words."""
+    op = ins.op
+    word = (
+        (int(op) & 0x3F) << 26
+        | _reg_field(ins.rd) << 20
+        | _reg_field(ins.rs1) << 14
+        | _reg_field(ins.rs2) << 8
+    )
+    if op not in WIDE_OPS:
+        return [word]
+    payload = ins.target if (op in BRANCH_OPS or op in (Opcode.J, Opcode.JAL)) else ins.imm
+    if not _IMM_MIN <= payload <= _IMM_MAX:
+        raise EncodingError(f"immediate/target out of range: {payload}")
+    return [word, payload & 0xFFFFFFFF]
+
+
+def decode_instruction(words: List[int], index: int) -> Tuple[Instruction, int]:
+    """Decode the instruction starting at ``words[index]``.
+
+    Returns ``(instruction, next_index)``.
+    """
+    try:
+        word = words[index]
+    except IndexError:
+        raise EncodingError(f"truncated stream at word {index}") from None
+    op_value = (word >> 26) & 0x3F
+    try:
+        op = Opcode(op_value)
+    except ValueError:
+        raise EncodingError(f"unknown opcode {op_value} at word {index}") from None
+    rd = _field_reg((word >> 20) & 0x3F)
+    rs1 = _field_reg((word >> 14) & 0x3F)
+    rs2 = _field_reg((word >> 8) & 0x3F)
+    ins = Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+    next_index = index + 1
+    if op in WIDE_OPS:
+        if next_index >= len(words):
+            raise EncodingError(f"missing immediate word after index {index}")
+        raw = words[next_index]
+        payload = raw - (1 << 32) if raw & 0x80000000 else raw
+        if op in BRANCH_OPS or op in (Opcode.J, Opcode.JAL):
+            ins.target = payload
+        else:
+            ins.imm = payload
+        next_index += 1
+    return ins, next_index
+
+
+def encode_program(instructions: Iterable[Instruction]) -> bytes:
+    """Encode an instruction sequence into little-endian machine code."""
+    words: List[int] = []
+    for ins in instructions:
+        words.extend(encode_instruction(ins))
+    return struct.pack(f"<{len(words)}I", *words)
+
+
+def decode_program(blob: bytes) -> List[Instruction]:
+    """Decode machine code back into instructions (inverse of encode)."""
+    if len(blob) % 4:
+        raise EncodingError("machine code length is not a multiple of 4")
+    words = list(struct.unpack(f"<{len(blob) // 4}I", blob))
+    out: List[Instruction] = []
+    index = 0
+    while index < len(words):
+        ins, index = decode_instruction(words, index)
+        out.append(ins)
+    return out

@@ -1,0 +1,205 @@
+"""Opcode definitions for the repro RISC-like ISA.
+
+The ISA is deliberately small but complete enough to express the workloads
+the paper evaluates: 64-bit integer and floating-point arithmetic, loads and
+stores with register+immediate addressing, conditional branches, direct and
+indirect jumps.  Every opcode is classified along the axes the simulator
+cares about:
+
+* which *functional-unit class* executes it (Table 1 of the paper gives one
+  latency per class),
+* whether it is a load / store / branch / jump,
+* whether it reads or writes the floating-point register file.
+
+The classification tables at the bottom of this module are the single source
+of truth; the timing model, the functional interpreter and the vectorization
+engine all import them rather than re-deriving opcode properties.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Opcode(enum.IntEnum):
+    """Every instruction opcode in the ISA.
+
+    The numeric values are arbitrary but stable; they are used as indices
+    into dispatch tables in the hot loops of the functional interpreter.
+    """
+
+    # Integer register-register arithmetic.
+    ADD = 0
+    SUB = 1
+    MUL = 2
+    DIV = 3
+    REM = 4
+    AND = 5
+    OR = 6
+    XOR = 7
+    SLL = 8
+    SRL = 9
+    SRA = 10
+    SLT = 11
+
+    # Integer register-immediate arithmetic.
+    ADDI = 12
+    ANDI = 13
+    ORI = 14
+    XORI = 15
+    SLLI = 16
+    SRLI = 17
+    SRAI = 18
+    SLTI = 19
+    LI = 20  # rd <- imm (pseudo "load immediate")
+
+    # Floating point arithmetic.
+    FADD = 21
+    FSUB = 22
+    FMUL = 23
+    FDIV = 24
+    FNEG = 25
+    FABS = 26
+    FMOV = 27
+    FSQRT = 28
+
+    # Conversions / cross-file moves.
+    ITOF = 29  # fp rd <- float(int rs1)
+    FTOI = 30  # int rd <- trunc(fp rs1)
+
+    # Memory.
+    LD = 31  # int rd  <- mem[rs1 + imm]
+    ST = 32  # mem[rs1 + imm] <- int rs2
+    FLD = 33  # fp rd   <- mem[rs1 + imm]
+    FST = 34  # mem[rs1 + imm] <- fp rs2
+
+    # Control flow.
+    BEQ = 35
+    BNE = 36
+    BLT = 37
+    BGE = 38
+    J = 39  # unconditional direct jump
+    JR = 40  # unconditional indirect jump (target = int rs1)
+    JAL = 41  # rd <- pc + 1; jump to target (direct call)
+
+    # Misc.
+    NOP = 42
+    HALT = 43
+
+
+class FuClass(enum.IntEnum):
+    """Functional-unit classes, one per latency row of the paper's Table 1."""
+
+    INT_SIMPLE = 0  # 1 cycle
+    INT_MUL = 1  # 2 cycles
+    INT_DIV = 2  # 12 cycles
+    FP_SIMPLE = 3  # 2 cycles
+    FP_MUL = 4  # 4 cycles
+    FP_DIV = 5  # 14 cycles
+    MEM = 6  # address generation; cache adds its own latency
+    NONE = 7  # consumes no functional unit (NOP/HALT)
+
+
+#: Execution latency of each functional-unit class (Table 1 of the paper).
+FU_LATENCY = {
+    FuClass.INT_SIMPLE: 1,
+    FuClass.INT_MUL: 2,
+    FuClass.INT_DIV: 12,
+    FuClass.FP_SIMPLE: 2,
+    FuClass.FP_MUL: 4,
+    FuClass.FP_DIV: 14,
+    FuClass.MEM: 1,  # AGU cycle; the cache access is modelled separately
+    FuClass.NONE: 1,
+}
+
+# ---------------------------------------------------------------------------
+# Opcode classification sets.
+# ---------------------------------------------------------------------------
+
+#: Integer register-register ALU opcodes (two int sources, one int dest).
+INT_RR_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SLL,
+        Opcode.SRL,
+        Opcode.SRA,
+        Opcode.SLT,
+    }
+)
+
+#: Integer register-immediate ALU opcodes (one int source, one int dest).
+INT_RI_OPS = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SRAI,
+        Opcode.SLTI,
+        Opcode.LI,
+    }
+)
+
+#: Floating-point two-source opcodes.
+FP_RR_OPS = frozenset({Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV})
+
+#: Floating-point single-source opcodes.
+FP_R_OPS = frozenset({Opcode.FNEG, Opcode.FABS, Opcode.FMOV, Opcode.FSQRT})
+
+LOAD_OPS = frozenset({Opcode.LD, Opcode.FLD})
+STORE_OPS = frozenset({Opcode.ST, Opcode.FST})
+MEM_OPS = LOAD_OPS | STORE_OPS
+
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+JUMP_OPS = frozenset({Opcode.J, Opcode.JR, Opcode.JAL})
+CONTROL_OPS = BRANCH_OPS | JUMP_OPS
+
+#: Opcodes whose destination register is floating point.
+FP_DEST_OPS = FP_RR_OPS | FP_R_OPS | frozenset({Opcode.ITOF, Opcode.FLD})
+
+#: Opcodes that read at least one fp source register.
+FP_SRC_OPS = FP_RR_OPS | FP_R_OPS | frozenset({Opcode.FTOI, Opcode.FST})
+
+#: Arithmetic opcodes the dynamic vectorizer may turn into vector instances
+#: (the paper vectorizes loads plus any arithmetic fed by a vector operand;
+#: control flow and stores are never vectorized).
+VECTORIZABLE_ALU_OPS = (
+    INT_RR_OPS | INT_RI_OPS | FP_RR_OPS | FP_R_OPS | frozenset({Opcode.ITOF, Opcode.FTOI})
+) - frozenset({Opcode.LI})
+
+
+def fu_class_of(op: Opcode) -> FuClass:
+    """Return the functional-unit class that executes ``op``."""
+    return _FU_CLASS_TABLE[op]
+
+
+_FU_CLASS_TABLE = {}
+for _op in Opcode:
+    if _op in (Opcode.MUL,):
+        _cls = FuClass.INT_MUL
+    elif _op in (Opcode.DIV, Opcode.REM):
+        _cls = FuClass.INT_DIV
+    elif _op in (Opcode.FMUL,):
+        _cls = FuClass.FP_MUL
+    elif _op in (Opcode.FDIV, Opcode.FSQRT):
+        _cls = FuClass.FP_DIV
+    elif _op in FP_RR_OPS or _op in FP_R_OPS or _op in (Opcode.ITOF, Opcode.FTOI):
+        _cls = FuClass.FP_SIMPLE
+    elif _op in MEM_OPS:
+        _cls = FuClass.MEM
+    elif _op in (Opcode.NOP, Opcode.HALT):
+        _cls = FuClass.NONE
+    else:
+        # Integer ALU, branches and jumps all execute on simple int units.
+        _cls = FuClass.INT_SIMPLE
+    _FU_CLASS_TABLE[_op] = _cls
+del _op, _cls

@@ -1,0 +1,111 @@
+"""Program container: instructions, labels and the initial data image.
+
+A :class:`Program` is the unit handed to the functional interpreter and,
+through it, to the timing model.  PCs are instruction *indices* — the ISA
+does not model instruction bytes; the I-cache maps an index to a synthetic
+byte address (4 bytes per instruction) when it needs line behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from .instruction import Instruction
+from .opcodes import Opcode
+
+#: Bytes per data word.  Every architectural datum is a 64-bit word, matching
+#: the paper's 8-byte vector elements.
+WORD_SIZE = 8
+
+#: Synthetic bytes per instruction, used only for I-cache indexing.
+INSTR_BYTES = 4
+
+Number = Union[int, float]
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, bad alignment...)."""
+
+
+class Program:
+    """A finalized, executable program.
+
+    Attributes:
+        instructions: the static instruction list; PC ``i`` executes
+            ``instructions[i]``.
+        labels: label name -> instruction index.
+        data: initial memory image, byte address -> 64-bit word value.
+            Addresses must be ``WORD_SIZE``-aligned.
+        entry: index of the first instruction executed.
+    """
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        data: Optional[Dict[int, Number]] = None,
+        entry: int = 0,
+    ) -> None:
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.data: Dict[int, Number] = dict(data or {})
+        self.entry = entry
+        self._finalized = False
+        self.finalize()
+
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Resolve symbolic labels into instruction-index targets.
+
+        Idempotent.  Raises :class:`ProgramError` on undefined labels,
+        out-of-range explicit targets or misaligned data addresses.
+        """
+        n = len(self.instructions)
+        for addr in self.data:
+            if addr % WORD_SIZE != 0:
+                raise ProgramError(f"misaligned data word at address {addr}")
+        for idx, ins in enumerate(self.instructions):
+            if ins.label is not None:
+                if ins.label not in self.labels:
+                    raise ProgramError(f"undefined label {ins.label!r} at pc {idx}")
+                ins.target = self.labels[ins.label]
+            if ins.is_control and ins.op is not Opcode.JR:
+                if not 0 <= ins.target < n:
+                    raise ProgramError(
+                        f"control target {ins.target} out of range at pc {idx}"
+                    )
+        if not 0 <= self.entry < n:
+            raise ProgramError(f"entry point {self.entry} out of range")
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def is_backward(self, pc: int) -> bool:
+        """True if the control instruction at ``pc`` targets an earlier pc.
+
+        Backward branches are what the GMRBB register (paper §3.3) tracks as
+        loop-closing branches.
+        """
+        ins = self.instructions[pc]
+        if not ins.is_control or ins.op is Opcode.JR:
+            return False
+        return ins.target <= pc
+
+    def listing(self) -> str:
+        """A human-readable disassembly listing with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for name, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(name)
+        lines = []
+        for idx, ins in enumerate(self.instructions):
+            for name in sorted(by_index.get(idx, ())):
+                lines.append(f"{name}:")
+            lines.append(f"  {idx:5d}  {ins}")
+        return "\n".join(lines)

@@ -1,0 +1,73 @@
+"""Register-file naming and encoding.
+
+The architecture has 32 integer registers (``r0`` .. ``r31``) and 32
+floating-point registers (``f0`` .. ``f31``).  Internally every logical
+register is a small integer in ``[0, 64)``: integer registers occupy
+``[0, 32)`` and floating-point registers ``[32, 64)``.  ``r0`` is hardwired
+to zero, like MIPS/Alpha ``$zero``.
+
+The flat encoding lets the rename table, the VRMT and the trace records use
+one integer per register with no (class, index) tuples in hot paths.
+"""
+
+from __future__ import annotations
+
+#: Number of integer logical registers.
+NUM_INT_REGS = 32
+#: Number of floating-point logical registers.
+NUM_FP_REGS = 32
+#: Total logical register namespace size (int + fp).
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Encoding of the hardwired-zero integer register.
+ZERO_REG = 0
+#: Sentinel meaning "no register" in instruction/trace fields.
+NO_REG = -1
+
+#: First encoded id of the floating-point file.
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(index: int) -> int:
+    """Encode integer register ``r<index>``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Encode floating-point register ``f<index>``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return FP_BASE + index
+
+
+def is_fp(reg: int) -> bool:
+    """True if the encoded register id belongs to the floating-point file."""
+    return reg >= FP_BASE
+
+
+def reg_name(reg: int) -> str:
+    """Human-readable name (``r7``, ``f3``) of an encoded register id."""
+    if reg == NO_REG:
+        return "-"
+    if reg < 0 or reg >= NUM_LOGICAL_REGS:
+        raise ValueError(f"encoded register id out of range: {reg}")
+    if reg >= FP_BASE:
+        return f"f{reg - FP_BASE}"
+    return f"r{reg}"
+
+
+def parse_reg(name: str) -> int:
+    """Parse a register name (``r12`` or ``f5``) to its encoded id.
+
+    Raises:
+        ValueError: if the name is not a valid register.
+    """
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in "rf" or not name[1:].isdigit():
+        raise ValueError(f"not a register name: {name!r}")
+    index = int(name[1:])
+    if name[0] == "r":
+        return int_reg(index)
+    return fp_reg(index)

@@ -1,0 +1,143 @@
+"""L1 data-cache ports: scalar buses or the 4-word wide bus.
+
+The paper evaluates three memory organisations per port count *x*:
+
+* ``xpnoIM`` — *x* scalar buses: every port transaction moves one word.
+* ``xpIM``  — *x* wide buses: one transaction moves a whole 4-word line,
+  and every pending load to that line (up to 4) is served by the single
+  access (§3.7).
+* ``xpV``   — wide buses plus dynamic vectorization; vector element
+  fetches ride the same wide transactions.
+
+This module owns two pieces of bookkeeping the experiments need:
+
+* **occupancy** (Fig 12): fraction of port-cycles actually used;
+* **usefulness** (Fig 13): for every *read* transaction on a wide bus, how
+  many of the line's words were ultimately useful — served a scalar load,
+  or a vector element that was later validated.  Vector elements are
+  speculative at access time, so their words start in a ``speculative``
+  bucket and migrate to ``useful`` when the element validates; a
+  transaction whose words are all dead at the end of the run counts as an
+  *unused (speculative) access*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+#: Words per cache line / wide-bus transfer (32-byte lines of 8-byte words).
+WORDS_PER_LINE = 4
+
+
+@dataclass
+class ReadTransaction:
+    """Usefulness accounting for one read access of a line."""
+
+    useful_words: int = 0
+    speculative_words: int = 0
+
+    def cap(self) -> None:
+        total = self.useful_words + self.speculative_words
+        if total > WORDS_PER_LINE:
+            # More loads than words can only mean duplicates to the same
+            # word; clamp to the physical line size.
+            overflow = total - WORDS_PER_LINE
+            take = min(overflow, self.speculative_words)
+            self.speculative_words -= take
+            overflow -= take
+            self.useful_words -= overflow
+
+
+class DataPorts:
+    """Per-cycle port arbitration plus occupancy/usefulness statistics."""
+
+    def __init__(self, n_ports: int, wide: bool) -> None:
+        if n_ports < 1:
+            raise ValueError("need at least one port")
+        self.n_ports = n_ports
+        self.wide = wide
+        self._used_this_cycle = 0
+        self.busy_port_cycles = 0
+        self.cycles = 0
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self._txns: List[ReadTransaction] = []
+
+    # -- per-cycle arbitration ------------------------------------------------
+
+    def begin_cycle(self) -> None:
+        """Advance to a new cycle; all ports become free."""
+        self.cycles += 1
+        self._used_this_cycle = 0
+
+    def available(self) -> int:
+        """Ports still free this cycle."""
+        return self.n_ports - self._used_this_cycle
+
+    def take(self) -> None:
+        """Consume one port for this cycle (a transaction begins)."""
+        if self._used_this_cycle >= self.n_ports:
+            raise RuntimeError("port over-subscription")
+        self._used_this_cycle += 1
+        self.busy_port_cycles += 1
+
+    # -- usefulness accounting ---------------------------------------------------
+
+    def open_read(self) -> int:
+        """Start a read transaction; returns its id for later attribution."""
+        self.read_transactions += 1
+        self._txns.append(ReadTransaction())
+        return len(self._txns) - 1
+
+    def open_write(self) -> None:
+        """Record a write (store-commit) transaction; writes carry no
+        usefulness accounting — Fig 13 is about read lines only."""
+        self.write_transactions += 1
+
+    def add_useful(self, txn: int, words: int = 1) -> None:
+        """Words of the transaction consumed by committed-path scalar loads."""
+        t = self._txns[txn]
+        t.useful_words += words
+        t.cap()
+
+    def add_speculative(self, txn: int, words: int = 1) -> None:
+        """Words fetched for vector elements, pending validation."""
+        t = self._txns[txn]
+        t.speculative_words += words
+        t.cap()
+
+    def element_validated(self, txn: int) -> None:
+        """A vector element fetched by ``txn`` was validated: its word
+        becomes useful."""
+        t = self._txns[txn]
+        if t.speculative_words > 0:
+            t.speculative_words -= 1
+            t.useful_words = min(WORDS_PER_LINE, t.useful_words + 1)
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> float:
+        """Busy port-cycles over total port-cycles (Fig 12's metric)."""
+        total = self.n_ports * self.cycles
+        return self.busy_port_cycles / total if total else 0.0
+
+    def usefulness_histogram(self) -> Dict[str, float]:
+        """Fractions of read transactions by useful-word count (Fig 13).
+
+        Returns keys ``"1".."4"`` (lines contributing that many useful
+        words) and ``"unused"`` (reads whose words were all speculative
+        and never validated).  Fractions sum to 1 over read transactions.
+        """
+        counts = {"1": 0, "2": 0, "3": 0, "4": 0, "unused": 0}
+        for t in self._txns:
+            if t.useful_words == 0:
+                counts["unused"] += 1
+            else:
+                counts[str(min(WORDS_PER_LINE, t.useful_words))] += 1
+        total = len(self._txns)
+        if not total:
+            return {k: 0.0 for k in counts}
+        return {k: v / total for k, v in counts.items()}

@@ -1,0 +1,26 @@
+"""Cycle-level out-of-order superscalar timing model."""
+
+from .config import (
+    MachineConfig,
+    VectorConfig,
+    config_name,
+    eight_way,
+    four_way,
+    make_config,
+    with_mode,
+)
+from .machine import Machine, simulate
+from .stats import SimStats
+
+__all__ = [
+    "MachineConfig",
+    "VectorConfig",
+    "config_name",
+    "eight_way",
+    "four_way",
+    "make_config",
+    "with_mode",
+    "Machine",
+    "simulate",
+    "SimStats",
+]

@@ -1,0 +1,702 @@
+"""Cycle-level out-of-order superscalar timing model (trace-driven).
+
+The machine replays a functional trace through the structures of Table 1:
+fetch (gshare + I-cache), dispatch/rename (with the V/S vector extension of
+Fig 6 when vectorization is on), a unified instruction window (ROB), a
+load/store queue with store-to-load forwarding and conservative
+disambiguation ("loads may execute when prior store addresses are known"),
+per-class functional-unit pools with the paper's latencies, 1/2/4 L1 data
+ports (scalar or wide), and in-order commit.
+
+Dynamic vectorization hooks (V mode only):
+
+* dispatch consults :class:`~repro.core.engine.VectorizationEngine` to turn
+  loads/arithmetic into vector triggers or validation ops;
+* the memory stage schedules speculative vector element fetches over
+  left-over wide-bus capacity;
+* commit performs the §3.6 store coherence check, F-flag bookkeeping and
+  GMRBB tracking, and fires misspeculation recovery squashes;
+* branch-misprediction recovery leaves all vector state intact (§3.5).
+
+The model is trace-driven: wrong-path instructions are not simulated, a
+misprediction costs fetch starvation until the branch resolves plus a
+refill penalty (DESIGN.md §5.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from ..core.engine import DecodeKind, VectorizationEngine
+from ..frontend.fetch import FetchUnit, FetchedInstr
+from ..functional.memory import MemoryImage
+from ..functional.trace import Trace, TraceEntry
+from ..isa.opcodes import (
+    FU_LATENCY,
+    FuClass,
+    Opcode,
+    VECTORIZABLE_ALU_OPS,
+    fu_class_of,
+)
+from ..isa.registers import NO_REG, ZERO_REG
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.ports import DataPorts
+from .config import MachineConfig
+from .stats import SimStats
+
+# Instruction kinds inside the window.
+K_SCALAR = 0  # ALU / control / nop-like, executes on a scalar FU
+K_LOAD = 1
+K_STORE = 2
+K_VALIDATION = 3  # checks one vector element, no FU, no memory port
+K_TRIGGER = 4  # created a vector instance; completes with its start element
+
+#: dependence token: None (ready), a producing InFlight, or (reg, elem).
+Dep = Union[None, "InFlight", Tuple]
+
+
+class InFlight:
+    """One dynamic instruction occupying the window."""
+
+    __slots__ = (
+        "seq",
+        "entry",
+        "kind",
+        "fu_class",
+        "static_ready",
+        "deps",
+        "base_dep",
+        "data_dep",
+        "done_at",
+        "addr",
+        "mispredicted",
+        "redirected",
+        "vreg",
+        "velem",
+        "pred_addr",
+        "counts_as_validation",
+        "vrmt_rollback",
+        "saved_renames",
+        "mem_queued",
+    )
+
+    def __init__(self, seq: int, entry: TraceEntry, kind: int) -> None:
+        self.seq = seq
+        self.entry = entry
+        self.kind = kind
+        self.fu_class = FuClass.NONE
+        self.static_ready = 0
+        self.deps: List[Dep] = []
+        self.base_dep: Dep = None
+        self.data_dep: Dep = None
+        self.done_at: Optional[int] = None
+        self.addr = entry.addr
+        self.mispredicted = False
+        self.redirected = False
+        self.vreg = None
+        self.velem = -1
+        self.pred_addr: Optional[int] = None
+        self.counts_as_validation = False
+        self.vrmt_rollback = None
+        self.saved_renames: List[Tuple[int, Tuple]] = []
+        self.mem_queued = False
+
+
+#: rename-map entries: ("S", producer-or-None) / ("V", reg, elem).
+_READY = ("S", None)
+
+
+class Machine:
+    """One timing simulation of one trace under one configuration."""
+
+    def __init__(self, config: MachineConfig, trace: Trace) -> None:
+        self.config = config
+        self.trace = trace
+        self.stats = SimStats()
+        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        self.ports = DataPorts(config.ports, config.wide_bus)
+        self.fetch_unit = FetchUnit(
+            trace, self.hierarchy, config.width, config.gshare_entries
+        )
+        #: architectural memory as of the last committed store — the image
+        #: speculative vector loads read from.
+        self.commit_memory: MemoryImage = trace.initial_memory.copy()
+        self.engine: Optional[VectorizationEngine] = (
+            VectorizationEngine(config, self.stats) if config.vectorize else None
+        )
+
+        self.rob: Deque[InFlight] = deque()
+        self.lsq: List[InFlight] = []
+        self.waiting: List[InFlight] = []
+        self.mem_queue: List[InFlight] = []
+        self.fetch_queue: Deque[FetchedInstr] = deque()
+        self.rename: Dict[int, Tuple] = {}
+        self.committed_vec_map: Dict[int, Optional[Tuple]] = {}
+        self.committed_count = 0
+        self._max_dispatched_seq = -1
+        self._now = 0
+        #: scalar FU pools: class -> list of unit free-at cycles.
+        self.fu_free = {
+            cls: [0] * count for cls, count in config.fu_pool_sizes().items()
+        }
+        #: (branch_seq, resolved_cycle) windows for Fig 10 accounting.
+        self.cfi_windows: Deque[Tuple[int, int]] = deque()
+        #: per-pc backward-branch flags for GMRBB tracking.
+        program = trace.program
+        self._is_backward = [program.is_backward(pc) for pc in range(len(program))]
+
+    # ==================================================================
+    # helpers
+    # ==================================================================
+
+    def _dep_time(self, dep: Dep) -> Optional[int]:
+        """Cycle at which a dependence token's value is available."""
+        if dep is None:
+            return 0
+        if isinstance(dep, tuple):
+            reg, elem = dep
+            return reg.r_time[elem]
+        return dep.done_at
+
+    def _deps_ready(self, fl: InFlight, now: int) -> bool:
+        for dep in fl.deps:
+            t = self._dep_time(dep)
+            if t is None or t > now:
+                return False
+        return fl.static_ready <= now
+
+    def _rename_ref(self, logical: int) -> Tuple:
+        if logical == ZERO_REG:
+            return _READY
+        return self.rename.get(logical, _READY)
+
+    def _dep_of_ref(self, ref: Tuple) -> Dep:
+        if ref[0] == "V":
+            return (ref[1], ref[2])
+        return ref[1]
+
+    def _acquire_fu(self, fu_class: FuClass, now: int) -> bool:
+        """Grab a scalar functional unit for an op starting this cycle."""
+        pool = self.fu_free.get(fu_class)
+        if pool is None:
+            return True
+        for i, free_at in enumerate(pool):
+            if free_at <= now:
+                # Simple units are fully pipelined; mul/div units are busy
+                # for the whole operation (SimpleScalar convention).
+                if fu_class in (
+                    FuClass.INT_MUL,
+                    FuClass.INT_DIV,
+                    FuClass.FP_MUL,
+                    FuClass.FP_DIV,
+                ):
+                    pool[i] = now + FU_LATENCY[fu_class]
+                else:
+                    pool[i] = now + 1
+                return True
+        return False
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+
+    def _commit(self, now: int) -> None:
+        committed = 0
+        stores_this_cycle = 0
+        engine = self.engine
+        while self.rob and committed < self.config.commit_width:
+            fl = self.rob[0]
+            if fl.done_at is None or fl.done_at > now:
+                break
+            entry = fl.entry
+            conflict = False
+            if fl.kind == K_STORE:
+                if engine is not None and (
+                    stores_this_cycle >= self.config.vector.max_store_commit
+                ):
+                    break
+                if self.ports.available() == 0:
+                    break
+                ready = self.hierarchy.data_access(fl.addr, now, is_write=True)
+                if ready is None:  # MSHR full
+                    break
+                self.ports.take()
+                self.ports.open_write()
+                self.stats.write_accesses += 1
+                self.commit_memory.store(fl.addr, entry.value)
+                stores_this_cycle += 1
+                self.stats.committed_stores += 1
+                if engine is not None:
+                    conflict = engine.on_store_commit(fl.addr, now)
+
+            self.rob.popleft()
+            if fl.kind in (K_LOAD, K_STORE):
+                self.lsq.remove(fl)
+            committed += 1
+            self.committed_count += 1
+            self.stats.committed += 1
+            self._account_cfi(fl, now)
+
+            if fl.kind in (K_VALIDATION, K_TRIGGER):
+                engine.on_validation_commit(fl, now, self.ports)
+
+            rd = entry.rd
+            if rd != NO_REG and rd != ZERO_REG:
+                old = self.committed_vec_map.get(rd)
+                if old is not None and engine is not None:
+                    engine.set_element_freed(old[0], old[1], old[2], now)
+                if fl.kind in (K_VALIDATION, K_TRIGGER):
+                    self.committed_vec_map[rd] = (fl.vreg, fl.vreg.gen, fl.velem)
+                else:
+                    self.committed_vec_map[rd] = None
+
+            if (
+                engine is not None
+                and entry.is_control
+                and self._is_backward[entry.pc]
+            ):
+                engine.on_backward_branch_commit(entry.pc, now)
+
+            if conflict:
+                # §3.6: squash everything younger than the store.
+                self._flush_from(fl.seq + 1, now + 1 + self.config.mispredict_penalty, now)
+                break
+
+    def _account_cfi(self, fl: InFlight, now: int) -> None:
+        """Fig 10: count committed instructions in the 100 after each
+        mispredicted branch, and which of them reuse pre-flush vector work."""
+        windows = self.cfi_windows
+        seq = fl.seq
+        while windows and seq > windows[0][0] + 100:
+            windows.popleft()
+        if not windows:
+            return
+        for bseq, resolved in windows:
+            if bseq < seq <= bseq + 100:
+                self.stats.cfi_window_instructions += 1
+                if (
+                    fl.counts_as_validation
+                    and fl.vreg is not None
+                    and fl.velem >= 0
+                ):
+                    # Fig 10's metric: the instruction needed no execution —
+                    # it validated vector state that survived the flush.
+                    self.stats.cfi_reused += 1
+                    rt = fl.vreg.r_time[fl.velem]
+                    if rt is not None and rt <= resolved:
+                        self.stats.cfi_precomputed += 1
+
+    # ==================================================================
+    # execute / memory
+    # ==================================================================
+
+    def _execute(self, now: int) -> None:
+        issues_left = self.config.width
+        engine = self.engine
+        still_waiting: List[InFlight] = []
+        flush_seq: Optional[int] = None
+        for fl in self.waiting:
+            if flush_seq is not None:
+                if fl.seq < flush_seq:
+                    still_waiting.append(fl)
+                continue
+            kind = fl.kind
+            if kind in (K_VALIDATION, K_TRIGGER):
+                if not self._deps_ready(fl, now):
+                    still_waiting.append(fl)
+                    continue
+                if not engine.validation_check(fl):
+                    # Misspeculation: recover to scalar from this instruction.
+                    engine.on_validation_failure(fl, now)
+                    flush_seq = fl.seq
+                    continue
+                if fl.vreg.elem_done(fl.velem, now):
+                    fl.done_at = now + 1
+                else:
+                    still_waiting.append(fl)
+                continue
+
+            if not self._deps_ready(fl, now):
+                still_waiting.append(fl)
+                continue
+
+            if kind == K_STORE:
+                # Address generation + data capture; memory written at commit.
+                fl.done_at = now + 1
+                continue
+
+            if kind == K_LOAD:
+                if issues_left <= 0:
+                    still_waiting.append(fl)
+                    continue
+                status = self._try_load(fl, now)
+                if status == "wait":
+                    still_waiting.append(fl)
+                else:
+                    issues_left -= 1
+                continue
+
+            # Scalar ALU / control / nop.
+            if fl.fu_class is FuClass.NONE:
+                fl.done_at = now + 1
+            else:
+                if issues_left <= 0:
+                    still_waiting.append(fl)
+                    continue
+                if not self._acquire_fu(fl.fu_class, now):
+                    still_waiting.append(fl)
+                    continue
+                issues_left -= 1
+                fl.done_at = now + FU_LATENCY[fl.fu_class]
+            if fl.mispredicted and not fl.redirected:
+                fl.redirected = True
+                self.stats.branch_mispredicts += 1
+                resolve = fl.done_at
+                self.fetch_unit.redirect(
+                    fl.seq + 1, resolve + self.config.mispredict_penalty
+                )
+                self.cfi_windows.append((fl.seq, resolve))
+
+        self.waiting = still_waiting
+        if flush_seq is not None:
+            self._flush_from(flush_seq, now + 1 + self.config.mispredict_penalty, now)
+        self._schedule_memory(now)
+
+    def _try_load(self, fl: InFlight, now: int) -> str:
+        """Disambiguate a ready load; returns 'wait', 'forwarded' or 'queued'."""
+        # All older stores must have known addresses (their base dep ready).
+        my_addr = fl.addr
+        forwarding_store: Optional[InFlight] = None
+        for other in self.lsq:
+            if other.seq >= fl.seq:
+                break
+            if other.kind != K_STORE:
+                continue
+            t = self._dep_time(other.base_dep)
+            if t is None or t + 1 > now:
+                return "wait"
+            if other.addr == my_addr:
+                forwarding_store = other  # youngest older match wins
+        if forwarding_store is not None:
+            t = self._dep_time(forwarding_store.data_dep)
+            if t is None or t > now:
+                return "wait"
+            fl.done_at = now + 1
+            self.stats.forwarded_loads += 1
+            return "forwarded"
+        self.mem_queue.append(fl)
+        fl.mem_queued = True
+        return "queued"
+
+    def _schedule_memory(self, now: int) -> None:
+        """Issue L1 data-port transactions: scalar loads, then (V mode)
+        speculative vector element fetches over the remaining capacity."""
+        ports = self.ports
+        if ports.available() == 0:
+            return
+        if not self.config.wide_bus:
+            # Scalar buses: one word per port per transaction.
+            remaining: List[InFlight] = []
+            queue = self.mem_queue
+            for i, fl in enumerate(queue):
+                if ports.available() == 0:
+                    remaining.extend(queue[i:])
+                    break
+                ready = self.hierarchy.data_access(fl.addr, now)
+                if ready is None:  # MSHR full; retry next cycle
+                    remaining.extend(queue[i:])
+                    break
+                ports.take()
+                txn = ports.open_read()
+                ports.add_useful(txn, 1)
+                self.stats.read_accesses += 1
+                self.stats.scalar_loads_to_memory += 1
+                fl.done_at = ready
+            self.mem_queue = remaining
+            return
+
+        # Wide bus: group pending reads by line; one access serves up to 4.
+        line_bytes = self.config.hierarchy.l1d_line
+        groups: List[Tuple[int, List]] = []
+        index: Dict[int, int] = {}
+        for fl in self.mem_queue:
+            line = fl.addr - (fl.addr % line_bytes)
+            gi = index.get(line)
+            if gi is not None and len(groups[gi][1]) < 4:
+                groups[gi][1].append(("scalar", fl))
+            else:
+                index[line] = len(groups)
+                groups.append((line, [("scalar", fl)]))
+        engine = self.engine
+        taken_fetches = []
+        if engine is not None:
+            # Up to one line group per free port, four elements per group.
+            budget = 4 * ports.available()
+            taken_fetches = engine.take_fetches(budget)
+            for reg, elem, addr in taken_fetches:
+                line = addr - (addr % line_bytes)
+                gi = index.get(line)
+                if gi is not None and len(groups[gi][1]) < 4:
+                    groups[gi][1].append(("vector", (reg, elem, addr)))
+                else:
+                    index[line] = len(groups)
+                    groups.append((line, [("vector", (reg, elem, addr))]))
+
+        served_scalar = set()
+        served_vector = set()
+        blocked = False
+        for line, members in groups:
+            if blocked or ports.available() == 0:
+                break
+            ready = self.hierarchy.data_access(line, now)
+            if ready is None:  # MSHR full: stop issuing this cycle
+                blocked = True
+                break
+            ports.take()
+            txn = ports.open_read()
+            self.stats.read_accesses += 1
+            scalar_words = set()
+            spec_words = 0
+            for tag, payload in members:
+                if tag == "scalar":
+                    fl = payload
+                    fl.done_at = ready
+                    scalar_words.add(fl.addr)
+                    served_scalar.add(id(fl))
+                    self.stats.scalar_loads_to_memory += 1
+                else:
+                    reg, elem, addr = payload
+                    reg.values[elem] = self.commit_memory.load(addr)
+                    reg.r_time[elem] = ready
+                    reg.txn_ids[elem] = txn
+                    spec_words += 1
+                    served_vector.add((id(reg), elem))
+            if scalar_words:
+                ports.add_useful(txn, len(scalar_words))
+            if spec_words:
+                ports.add_speculative(txn, spec_words)
+
+        self.mem_queue = [fl for fl in self.mem_queue if id(fl) not in served_scalar]
+        if engine is not None:
+            unserved = [
+                item for item in taken_fetches if (id(item[0]), item[1]) not in served_vector
+            ]
+            engine.requeue_fetches(unserved)
+
+    # ==================================================================
+    # dispatch
+    # ==================================================================
+
+    def _dispatch(self, now: int) -> None:
+        dispatched = 0
+        engine = self.engine
+        config = self.config
+        while self.fetch_queue and dispatched < config.width:
+            fi = self.fetch_queue[0]
+            entry = fi.entry
+            if len(self.rob) >= config.rob_size:
+                break
+            is_mem = entry.is_load or entry.is_store
+            if is_mem and len(self.lsq) >= config.lsq_size:
+                break
+            if engine is not None and self._blocked_on_scalar_operand(entry, now):
+                self.stats.scalar_operand_stall_cycles += 1
+                break
+            self.fetch_queue.popleft()
+            self._dispatch_one(fi, now)
+            dispatched += 1
+
+    def _blocked_on_scalar_operand(self, entry: TraceEntry, now: int) -> bool:
+        """§3.2 / Fig 7: an instruction that *was previously vectorized*
+        with a scalar register operand must compare that register's current
+        value against the VRMT's captured value before it can be turned
+        into a validation — so it waits at decode until the value is
+        available.  Fresh vector instances do not stall: the vector FU
+        reads the scalar register file once, when it is ready (§3.4)."""
+        if not self.config.vector.block_on_scalar_operand:
+            return False
+        if entry.op not in VECTORIZABLE_ALU_OPS:
+            return False
+        mapping = self.engine.vrmt.table.peek(entry.pc)
+        if mapping is None or mapping.scalar_value is None:
+            return False
+        for src in (entry.rs1, entry.rs2):
+            if src == NO_REG:
+                continue
+            ref = self._rename_ref(src)
+            if ref[0] == "S" and ref[1] is not None:
+                t = ref[1].done_at
+                if t is None or t > now:
+                    return True
+        return False
+
+    def _dispatch_one(self, fi: FetchedInstr, now: int) -> None:
+        entry = fi.entry
+        seq = entry.seq
+        first_time = seq > self._max_dispatched_seq
+        if first_time:
+            self._max_dispatched_seq = seq
+        op = entry.op
+        engine = self.engine
+
+        decision = None
+        if engine is not None:
+            if entry.is_load:
+                decision = engine.decode_load(entry, now, first_time)
+            elif op in VECTORIZABLE_ALU_OPS and entry.rd != NO_REG:
+                decision = engine.decode_alu(entry, self._src_descs(entry), now)
+
+        if decision is not None and decision.kind is not DecodeKind.SCALAR:
+            kind = (
+                K_VALIDATION if decision.kind is DecodeKind.VALIDATION else K_TRIGGER
+            )
+            fl = InFlight(seq, entry, kind)
+            fl.vreg = decision.reg
+            fl.velem = decision.elem
+            fl.pred_addr = decision.pred_addr
+            fl.counts_as_validation = decision.counts_as_validation
+            fl.vrmt_rollback = decision.vrmt_rollback
+            fl.static_ready = now + 1
+            if entry.is_load:
+                # The address check needs the base register (AGU).
+                fl.deps.append(self._dep_of_ref(self._rename_ref(entry.rs1)))
+            self._set_rename(fl, entry.rd, ("V", decision.reg, decision.elem))
+            self.rob.append(fl)
+            self.waiting.append(fl)
+            self.stats.fetched += 1
+            return
+
+        if decision is not None and decision.vrmt_rollback is not None:
+            # Scalar decision that still touched the VRMT (entry invalidated
+            # or chain attempt failed): keep rollback data on the entry.
+            pass
+
+        if entry.is_load:
+            fl = InFlight(seq, entry, K_LOAD)
+            fl.fu_class = FuClass.MEM
+            fl.base_dep = self._dep_of_ref(self._rename_ref(entry.rs1))
+            fl.deps.append(fl.base_dep)
+            self._set_rename(fl, entry.rd, ("S", fl))
+            self.lsq.append(fl)
+        elif entry.is_store:
+            fl = InFlight(seq, entry, K_STORE)
+            fl.fu_class = FuClass.MEM
+            fl.base_dep = self._dep_of_ref(self._rename_ref(entry.rs1))
+            fl.data_dep = self._dep_of_ref(self._rename_ref(entry.rs2))
+            fl.deps.append(fl.base_dep)
+            fl.deps.append(fl.data_dep)
+            self.lsq.append(fl)
+        else:
+            fl = InFlight(seq, entry, K_SCALAR)
+            fl.fu_class = (
+                FuClass.NONE if op in (Opcode.NOP, Opcode.HALT) else fu_class_of(op)
+            )
+            for src in (entry.rs1, entry.rs2):
+                if src != NO_REG:
+                    fl.deps.append(self._dep_of_ref(self._rename_ref(src)))
+            if entry.rd != NO_REG:
+                self._set_rename(fl, entry.rd, ("S", fl))
+        if decision is not None:
+            fl.vrmt_rollback = decision.vrmt_rollback
+        fl.static_ready = now + 1
+        fl.mispredicted = fi.mispredicted
+        self.rob.append(fl)
+        self.waiting.append(fl)
+        self.stats.fetched += 1
+
+    def _src_descs(self, entry: TraceEntry) -> Tuple[Tuple, ...]:
+        """Source descriptors for the engine's ALU decode (see decode_alu)."""
+        descs = []
+        values = (entry.s1, entry.s2)
+        for i, src in enumerate((entry.rs1, entry.rs2)):
+            if src == NO_REG:
+                continue
+            ref = self._rename_ref(src)
+            if ref[0] == "V":
+                descs.append(("V", ref[1], ref[2]))
+            else:
+                descs.append(("S", src, values[i]))
+        # Immediate-operand forms carry the immediate as the final operand.
+        if entry.rs2 == NO_REG and entry.op not in (
+            Opcode.FNEG,
+            Opcode.FABS,
+            Opcode.FMOV,
+            Opcode.FSQRT,
+            Opcode.ITOF,
+            Opcode.FTOI,
+        ):
+            descs.append(("imm", entry.imm))
+        return tuple(descs)
+
+    def _set_rename(self, fl: InFlight, logical: int, ref: Tuple) -> None:
+        if logical == NO_REG or logical == ZERO_REG:
+            return
+        fl.saved_renames.append((logical, self.rename.get(logical, _READY)))
+        self.rename[logical] = ref
+
+    # ==================================================================
+    # squash
+    # ==================================================================
+
+    def _flush_from(self, from_seq: int, resume_cycle: int, now: int) -> None:
+        """Remove every in-flight instruction with seq >= from_seq and
+        restart fetch there.  Vector registers survive (§3.5); scalar-side
+        bookkeeping (rename, VRMT offsets, U flags) rolls back."""
+        engine = self.engine
+        while self.rob and self.rob[-1].seq >= from_seq:
+            fl = self.rob.pop()
+            for logical, old in reversed(fl.saved_renames):
+                self.rename[logical] = old
+            if engine is not None:
+                engine.on_flush_entry(fl, now)
+        self.lsq = [fl for fl in self.lsq if fl.seq < from_seq]
+        self.waiting = [fl for fl in self.waiting if fl.seq < from_seq]
+        self.mem_queue = [fl for fl in self.mem_queue if fl.seq < from_seq]
+        self.fetch_queue.clear()
+        self.fetch_unit.redirect(from_seq, resume_cycle)
+
+    # ==================================================================
+    # main loop
+    # ==================================================================
+
+    def step(self, now: int) -> None:
+        """Simulate one cycle (commit -> execute/memory -> dispatch -> fetch)."""
+        self.ports.begin_cycle()
+        if self.engine is not None:
+            self.engine.tick(now)
+        self._commit(now)
+        self._execute(now)
+        self._dispatch(now)
+        room = self.config.fetch_queue_size - len(self.fetch_queue)
+        if room > 0:
+            for fi in self.fetch_unit.fetch_cycle_group(now, room):
+                self.fetch_queue.append(fi)
+
+    def run(self) -> SimStats:
+        """Simulate until the whole trace has committed; returns stats."""
+        total = len(self.trace.entries)
+        stats = self.stats
+        if total == 0:
+            return stats
+        now = 0
+        safety = 2000 + 600 * total
+        while self.committed_count < total:
+            self.step(now)
+            now += 1
+            if now > safety:
+                raise RuntimeError(
+                    f"simulation wedged: {self.committed_count}/{total} committed "
+                    f"after {now} cycles"
+                )
+        stats.cycles = now
+        if self.engine is not None:
+            self.engine.finalize(now)
+        stats.usefulness = self.ports.usefulness_histogram()
+        stats.port_occupancy = self.ports.occupancy
+        return stats
+
+
+def simulate(config: MachineConfig, trace: Trace) -> SimStats:
+    """Run ``trace`` through a machine built from ``config`` (convenience)."""
+    return Machine(config, trace).run()

@@ -1,0 +1,27 @@
+"""Workload construction: builder DSL, kernels, SPEC95-like benchmarks."""
+
+from .builder import BuilderError, ProgramBuilder
+from .spec95 import (
+    ALL_BENCHMARKS,
+    DEFAULT_SCALE,
+    SPEC_FP,
+    SPEC_INT,
+    build,
+    cached_trace,
+    is_fp_benchmark,
+)
+
+__all__ = [
+    "BuilderError",
+    "ProgramBuilder",
+    "ALL_BENCHMARKS",
+    "DEFAULT_SCALE",
+    "SPEC_FP",
+    "SPEC_INT",
+    "build",
+    "cached_trace",
+    "is_fp_benchmark",
+    "kernels",
+]
+
+from . import kernels  # noqa: E402  (re-exported as a namespace)

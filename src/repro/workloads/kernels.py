@@ -1,0 +1,431 @@
+"""Reusable workload kernels.
+
+Each kernel emits a self-contained code region (its own loops and data)
+into a :class:`~repro.workloads.builder.ProgramBuilder`.  The SPEC95-like
+benchmark generators in :mod:`repro.workloads.spec95` compose these with
+benchmark-specific weights; they are also handy on their own in tests and
+examples because each one exercises one access/control regime from the
+paper's motivation section:
+
+================  ==========================================================
+kernel            regime (paper figure it feeds)
+================  ==========================================================
+strided_sum       constant integer stride 1/2/4/8 loads   (Fig 1, Fig 13)
+daxpy             stride-1 fp streams                     (Fig 1 FP, Fig 11)
+stencil3          overlapping stride-1 fp loads           (Fig 13 multi-word)
+unrolled_fp_sweep compiler-unrolled stride 2/4/8 accesses (Fig 1 FP tail)
+pointer_chase     pointer-rich, irregular addresses       (Fig 1 "other")
+table_lookup      gather through an index array           (SpecInt regime)
+local_accumulate  stride-0 local-variable traffic         (Fig 1 stride 0)
+branchy_threshold data-dependent branches                 (Fig 10 CFI)
+copy_kernel       load+store streams (coherence checks)   (§3.6 store check)
+hist_update       read-modify-write gathers               (§3.6 invalidation)
+matvec            nested unit-stride loops                (Fig 11 FP)
+fp_chain_spill    straight-line fp with spill slots       (fpppp regime)
+================  ==========================================================
+
+Memory-operation density matters: SPEC95 on Alpha retires roughly 30%
+loads + 10% stores, which is what makes the paper's 1-scalar-port baseline
+port-bound.  The kernels are written (multi-field records, unrolled
+bodies, clustered locals) so the generated benchmarks land in that range.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..isa.program import WORD_SIZE
+from .builder import ProgramBuilder
+
+
+def strided_sum(
+    b: ProgramBuilder, n: int, stride_words: int, iters: int = 1, unroll: int = 4
+) -> None:
+    """Sum every ``stride_words``-th element of an ``n``-word int array.
+
+    The body is unrolled ``unroll`` times, so each static load walks the
+    array with a constant stride of ``stride_words`` elements (the paper's
+    Fig 1 explains stride-2/4/8 populations as unrolled stride-1 loops).
+    """
+    base = b.array(n, [i * 3 + 1 for i in range(n)], align=4)
+    count = max(1, n // (stride_words * unroll))
+    ptr, acc, val = b.ireg(), b.ireg(), b.ireg()
+    step = stride_words * WORD_SIZE
+    with b.loop(iters):
+        b.li(ptr, base)
+        b.li(acc, 0)
+        with b.loop(count):
+            for k in range(unroll):
+                b.ld(val, k * step, ptr)
+                b.add(acc, acc, val)
+            b.addi(ptr, ptr, unroll * step)
+    b.release(ptr, acc, val)
+
+
+def daxpy(b: ProgramBuilder, n: int, iters: int = 1, unroll: int = 2) -> None:
+    """``y[i] = a * x[i] + y[i]`` over stride-1 fp arrays (unrolled)."""
+    x = b.array(n, [0.5 + i for i in range(n)], align=4)
+    y = b.array(n, [2.0 * i for i in range(n)], align=4)
+    px, py = b.ireg(), b.ireg()
+    a, vx, vy = b.freg(), b.freg(), b.freg()
+    scale = b.word(3.25)
+    count = max(1, n // unroll)
+    with b.loop(iters):
+        b.li(px, x)
+        b.li(py, y)
+        with b.scratch_ireg() as t:
+            b.li(t, scale)
+            b.fld(a, 0, t)
+        with b.loop(count):
+            for k in range(unroll):
+                off = k * WORD_SIZE
+                b.fld(vx, off, px)
+                b.fld(vy, off, py)
+                b.fmul(vx, vx, a)
+                b.fadd(vy, vy, vx)
+                b.fst(vy, off, py)
+            b.addi(px, px, unroll * WORD_SIZE)
+            b.addi(py, py, unroll * WORD_SIZE)
+    b.release(px, py, a, vx, vy)
+
+
+def stencil3(b: ProgramBuilder, n: int, iters: int = 1) -> None:
+    """Three-point stencil ``dst[i] = src[i-1] + src[i] + src[i+1]``.
+
+    Three static loads walk the same array at stride 1 with different
+    offsets, producing the multi-useful-word cache lines of Fig 13.
+    """
+    src = b.array(n + 2, [float(i % 17) for i in range(n + 2)], align=4)
+    dst = b.array(n, align=4)
+    ps, pd = b.ireg(), b.ireg()
+    a, c, r = b.freg(), b.freg(), b.freg()
+    with b.loop(iters):
+        b.li(ps, src + WORD_SIZE)
+        b.li(pd, dst)
+        with b.loop(n):
+            b.fld(a, -WORD_SIZE, ps)
+            b.fld(c, 0, ps)
+            b.fadd(r, a, c)
+            b.fld(a, WORD_SIZE, ps)
+            b.fadd(r, r, a)
+            b.fst(r, 0, pd)
+            b.addi(ps, ps, WORD_SIZE)
+            b.addi(pd, pd, WORD_SIZE)
+    b.release(ps, pd, a, c, r)
+
+
+def unrolled_fp_sweep(
+    b: ProgramBuilder, n: int, unroll: int, iters: int = 1
+) -> None:
+    """A stride-1 fp reduction unrolled by ``unroll``.
+
+    After unrolling, each of the ``unroll`` static loads strides by
+    ``unroll`` elements — exactly how the paper explains the stride 2/4/8
+    populations of Fig 1 (compiler loop unrolling).
+    """
+    data = b.array(n, [float((7 * i) % 23) for i in range(n)], align=4)
+    ptr = b.ireg()
+    acc, tmp = b.freg(), b.freg()
+    count = max(1, n // unroll)
+    with b.loop(iters):
+        b.li(ptr, data)
+        with b.loop(count):
+            for k in range(unroll):
+                b.fld(tmp, k * WORD_SIZE, ptr)
+                b.fadd(acc, acc, tmp)
+            b.addi(ptr, ptr, unroll * WORD_SIZE)
+    b.release(ptr, acc, tmp)
+
+
+def pointer_chase(
+    b: ProgramBuilder,
+    n_nodes: int,
+    iters: int = 1,
+    rng: Optional[random.Random] = None,
+    shuffled: bool = True,
+) -> None:
+    """Traverse a singly linked list of ``n_nodes`` four-word records.
+
+    Each node is ``[next, key, left_payload, right_payload]`` and the walk
+    reads all four words (pointer-rich codes read several fields per
+    node).  With ``shuffled=True`` the nodes are laid out in a random
+    permutation, so successive ``next`` loads have no constant stride (the
+    pointer-rich regime the paper motivates).  With ``shuffled=False`` the
+    list is laid out sequentially and the chase is secretly stride-4 —
+    useful to show the TL picking up strides the *programmer* never wrote.
+    """
+    rng = rng or random.Random(0)
+    order = list(range(n_nodes))
+    if shuffled:
+        rng.shuffle(order)
+    node_words = 4
+    base = b.array(node_words * n_nodes, align=4)
+    node_addr = [base + node_words * WORD_SIZE * slot for slot in order]
+    for i in range(n_nodes):
+        nxt = node_addr[i + 1] if i + 1 < n_nodes else 0
+        b.data[node_addr[i]] = nxt
+        b.data[node_addr[i] + WORD_SIZE] = i + 1
+        b.data[node_addr[i] + 2 * WORD_SIZE] = 3 * i
+        b.data[node_addr[i] + 3 * WORD_SIZE] = 7 - i
+    ptr, acc, v1, v2 = b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    with b.loop(iters):
+        b.li(ptr, node_addr[0])
+        b.li(acc, 0)
+        with b.while_nonzero(ptr):
+            b.ld(v1, WORD_SIZE, ptr)
+            b.ld(v2, 2 * WORD_SIZE, ptr)
+            b.add(acc, acc, v1)
+            b.ld(v1, 3 * WORD_SIZE, ptr)
+            b.add(acc, acc, v2)
+            b.add(acc, acc, v1)
+            b.ld(ptr, 0, ptr)
+    b.release(ptr, acc, v1, v2)
+
+
+def table_lookup(
+    b: ProgramBuilder,
+    table_size: int,
+    n_lookups: int,
+    iters: int = 1,
+    rng: Optional[random.Random] = None,
+) -> None:
+    """Gather: walk an index array (stride 1) and load two parallel tables.
+
+    The index-array load vectorizes; the dependent gathers do not (their
+    address streams are random), mimicking table-driven integer codes such
+    as gcc/vortex.
+    """
+    rng = rng or random.Random(1)
+    table = b.array(table_size, [rng.randrange(100) for _ in range(table_size)], align=4)
+    aux = b.array(table_size, [rng.randrange(50) for _ in range(table_size)], align=4)
+    idx = b.array(
+        n_lookups, [rng.randrange(table_size) for _ in range(n_lookups)], align=4
+    )
+    pidx, i, addr, v, acc = b.ireg(), b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    with b.loop(iters):
+        b.li(pidx, idx)
+        b.li(acc, 0)
+        with b.loop(n_lookups):
+            b.ld(i, 0, pidx)
+            b.slli(addr, i, 3)
+            b.addi(addr, addr, table)
+            b.ld(v, 0, addr)
+            b.add(acc, acc, v)
+            b.ld(v, aux - table, addr)
+            b.add(acc, acc, v)
+            b.addi(pidx, pidx, WORD_SIZE)
+    b.release(pidx, i, addr, v, acc)
+
+
+def local_accumulate(b: ProgramBuilder, iters: int, n_locals: int = 4) -> None:
+    """Stride-0 traffic: a frame of local variables re-read every iteration.
+
+    ``n_locals`` read-mostly slots (clustering in one or two cache lines,
+    like a stack frame) are loaded each iteration and a separate output
+    slot is stored — the stride-0 population that dominates Fig 1 for
+    SpecInt.  The stored slot is distinct from the read slots, as locals
+    kept in registers get written back far less often than they are read.
+    """
+    slots = b.array(n_locals, [11 * k + 1 for k in range(n_locals)], align=4)
+    out = b.array(1, align=4)
+    frame, acc, v = b.ireg(), b.ireg(), b.ireg()
+    b.li(frame, slots)
+    with b.loop(iters):
+        b.li(acc, 0)
+        for k in range(n_locals):
+            b.ld(v, k * WORD_SIZE, frame)
+            b.add(acc, acc, v)
+        b.st(acc, out - slots, frame)
+    b.release(frame, acc, v)
+
+
+def branchy_threshold(
+    b: ProgramBuilder,
+    n: int,
+    iters: int = 1,
+    rng: Optional[random.Random] = None,
+    taken_prob: float = 0.5,
+) -> None:
+    """Data-dependent branching over a random array.
+
+    Each element picks one of two arithmetic paths; with ``taken_prob``
+    near 0.5 the gshare predictor mispredicts often, which is what makes
+    the control-flow-independence reuse of Fig 10 visible.
+    """
+    rng = rng or random.Random(2)
+    data = b.array(
+        n, [1 if rng.random() < taken_prob else 0 for _ in range(n)], align=4
+    )
+    weights = b.array(n, [rng.randrange(9) for _ in range(n)], align=4)
+    ptr, v, w, acc = b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    with b.loop(iters):
+        b.li(ptr, data)
+        b.li(acc, 0)
+        with b.loop(n):
+            b.ld(v, 0, ptr)
+            b.ld(w, weights - data, ptr)
+            with b.if_nonzero(v):
+                b.add(acc, acc, w)
+            with b.if_zero(v):
+                b.sub(acc, acc, w)
+            b.addi(ptr, ptr, WORD_SIZE)
+    b.release(ptr, v, w, acc)
+
+
+def copy_kernel(b: ProgramBuilder, n: int, iters: int = 1, unroll: int = 4) -> None:
+    """``dst[i] = src[i]`` word copy: interleaved stride loads and stores.
+
+    The stores sweep a range that never overlaps the load stream, so the
+    §3.6 store-coherence checks run constantly but rarely invalidate.
+    """
+    src = b.array(n, [i * 5 + 2 for i in range(n)], align=4)
+    dst = b.array(n, align=4)
+    ps, pd, v = b.ireg(), b.ireg(), b.ireg()
+    count = max(1, n // unroll)
+    with b.loop(iters):
+        b.li(ps, src)
+        b.li(pd, dst)
+        with b.loop(count):
+            for k in range(unroll):
+                b.ld(v, k * WORD_SIZE, ps)
+                b.st(v, k * WORD_SIZE, pd)
+            b.addi(ps, ps, unroll * WORD_SIZE)
+            b.addi(pd, pd, unroll * WORD_SIZE)
+    b.release(ps, pd, v)
+
+
+def hist_update(
+    b: ProgramBuilder,
+    n_bins: int,
+    n: int,
+    iters: int = 1,
+    rng: Optional[random.Random] = None,
+) -> None:
+    """Histogram: read-modify-write of random bins.
+
+    The bin stores land *inside* the address range of the bin loads'
+    vector registers, so this kernel triggers the paper's store
+    invalidation + squash path (§3.6) at a high rate.
+    """
+    rng = rng or random.Random(3)
+    bins = b.array(n_bins, align=4)
+    idx = b.array(n, [rng.randrange(n_bins) for _ in range(n)], align=4)
+    pidx, i, addr, v = b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    with b.loop(iters):
+        b.li(pidx, idx)
+        with b.loop(n):
+            b.ld(i, 0, pidx)
+            b.slli(addr, i, 3)
+            b.addi(addr, addr, bins)
+            b.ld(v, 0, addr)
+            b.addi(v, v, 1)
+            b.st(v, 0, addr)
+            b.addi(pidx, pidx, WORD_SIZE)
+    b.release(pidx, i, addr, v)
+
+
+def matvec(b: ProgramBuilder, rows: int, cols: int, iters: int = 1) -> None:
+    """Dense matrix-vector product, row-major, all streams stride 1."""
+    mat = b.array(rows * cols, [float((i % 9) - 4) for i in range(rows * cols)], align=4)
+    vec = b.array(cols, [float(i % 5) for i in range(cols)], align=4)
+    out = b.array(rows, align=4)
+    pm, pv, po = b.ireg(), b.ireg(), b.ireg()
+    a, x, acc = b.freg(), b.freg(), b.freg()
+    with b.loop(iters):
+        b.li(pm, mat)
+        b.li(po, out)
+        with b.loop(rows):
+            b.li(pv, vec)
+            b.fsub(acc, acc, acc)  # acc = 0.0
+            with b.loop(cols):
+                b.fld(a, 0, pm)
+                b.fld(x, 0, pv)
+                b.fmul(a, a, x)
+                b.fadd(acc, acc, a)
+                b.addi(pm, pm, WORD_SIZE)
+                b.addi(pv, pv, WORD_SIZE)
+            b.fst(acc, 0, po)
+            b.addi(po, po, WORD_SIZE)
+    b.release(pm, pv, po, a, x, acc)
+
+
+def fp_chain_spill(
+    b: ProgramBuilder, chain: int, iters: int = 1, spill_every: int = 6
+) -> None:
+    """Straight-line fp dependence chains with spill traffic (fpppp-like).
+
+    A long basic block of fp ops whose intermediates spill to the stack —
+    heavy stride-0 fp traffic plus high fp-unit utilisation.  Each spill
+    point gets its *own* slot (compilers assign distinct stack slots to
+    distinct live ranges), and a frame of read-mostly coefficient slots is
+    reloaded throughout the block.
+    """
+    n_spills = max(1, chain // spill_every)
+    coeffs = b.array(4, [1.5, 2.5, 0.25, 4.0], align=4)
+    spills = b.array(n_spills, align=4)
+    sp, cp = b.ireg(), b.ireg()
+    a, c = b.freg(), b.freg()
+    b.li(cp, coeffs)
+    b.li(sp, spills)
+    spill_idx = 0
+    pending_reload = None
+    with b.loop(iters):
+        b.fld(a, 0, cp)
+        b.fld(c, WORD_SIZE, cp)
+        for k in range(chain):
+            # Balanced mul/div and add/sub keep the running value bounded
+            # over arbitrarily many iterations (real fpppp manipulates
+            # bounded physical quantities).
+            if k % 4 == 0:
+                b.fmul(a, a, c)
+            elif k % 4 == 1:
+                b.fadd(a, a, c)
+            elif k % 4 == 2:
+                b.fdiv(a, a, c)
+            else:
+                b.fsub(a, a, c)
+            if k % spill_every == spill_every - 1:
+                if pending_reload is not None:
+                    # Reload the live range spilled at the previous point.
+                    b.fld(c, pending_reload, sp)
+                else:
+                    b.fld(c, (spill_idx * 2) % 4 * WORD_SIZE, cp)
+                slot = (spill_idx % n_spills) * WORD_SIZE
+                spill_idx += 1
+                b.fst(a, slot, sp)  # spill this live range
+                pending_reload = slot
+                # Start the next segment from a fresh coefficient so the
+                # running value stays bounded across arbitrarily many
+                # iterations.
+                b.fld(a, (spill_idx * 3) % 4 * WORD_SIZE, cp)
+        b.fabs_(a, a)
+        b.fst(a, 0, sp)
+    b.release(sp, cp, a, c)
+
+def multi_stream_sum(b: ProgramBuilder, n: int, streams: int = 3, iters: int = 1) -> None:
+    """``out[i] = a[i] + b[i] + ...`` over several stride-1 int arrays.
+
+    Multiple independent unit-stride streams in one (not unrolled) loop:
+    every static load keeps a true element stride of 1 while the loop body
+    stays memory-dense — the regime behind the paper's stride-1 integer
+    population (Fig 1) and multi-useful-word lines (Fig 13).
+    """
+    bases = [
+        b.array(n, [(7 * i + s) % 41 for i in range(n)], align=4)
+        for s in range(streams)
+    ]
+    out = b.array(n, align=4)
+    ptr, acc, val = b.ireg(), b.ireg(), b.ireg()
+    with b.loop(iters):
+        b.li(ptr, bases[0])
+        with b.loop(n):
+            # One cursor serves every stream: the other arrays sit at
+            # compile-time-constant displacements from the first.
+            b.ld(acc, 0, ptr)
+            for base in bases[1:]:
+                b.ld(val, base - bases[0], ptr)
+                b.add(acc, acc, val)
+            b.st(acc, out - bases[0], ptr)
+            b.addi(ptr, ptr, WORD_SIZE)
+    b.release(ptr, acc, val)

@@ -1,0 +1,48 @@
+"""Report formatting helpers."""
+
+import pytest
+
+from repro.analysis import format_table, mean, percent, suite_rows
+
+
+def test_format_table_alignment():
+    table = format_table(["name", "v"], [["a", 1.5], ["long", 22]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "1.500" in table
+
+
+def test_percent():
+    assert percent(0.125) == "12.5%"
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert mean([]) == 0.0
+
+
+def test_suite_rows_appends_averages():
+    data = {
+        "a": {"x": 1.0, "y": 2.0},
+        "b": {"x": 3.0, "y": 4.0},
+        "c": {"x": 5.0, "y": 6.0},
+    }
+    rows = suite_rows(data, int_names=["a", "b"], fp_names=["c"])
+    labels = [row[0] for row in rows]
+    assert labels == ["a", "b", "c", "INT", "FP", "TOTAL"]
+    int_row = rows[3]
+    assert int_row[1] == pytest.approx(2.0)  # mean of x over a, b
+    total_row = rows[5]
+    assert total_row[2] == pytest.approx(4.0)  # mean of y over all
+
+
+def test_suite_rows_empty():
+    assert suite_rows({}, [], []) == []
+
+
+def test_suite_rows_missing_benchmarks_skipped():
+    data = {"a": {"x": 2.0}}
+    rows = suite_rows(data, int_names=["a", "zzz"], fp_names=["www"])
+    assert rows[1][0] == "INT"
+    assert rows[1][1] == pytest.approx(2.0)

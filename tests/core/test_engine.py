@@ -1,0 +1,297 @@
+"""The vectorization engine inside the full machine, on hand-written loops.
+
+Every test here runs with ``check_invariants=True`` (the default), so each
+one doubles as a soundness check: any validation committing a wrong value
+raises :class:`~repro.core.engine.MisspeculationError`.
+"""
+
+from ..conftest import asm_trace, run_timing
+
+STRIDED = """
+    .data
+    arr: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+         .word 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+    .text
+        li r1, arr
+        li r2, 0
+        li r4, 0
+    loop:
+        ld r3, 0(r1)
+        add r2, r2, r3
+        addi r1, r1, 8
+        addi r4, r4, 1
+        slti r5, r4, 32
+        bne r5, r0, loop
+        halt
+"""
+
+
+def test_strided_load_vectorizes(sum_loop):
+    stats = run_timing(sum_loop, mode="V")
+    assert stats.vector_load_instances > 0
+    assert stats.validations_committed > 0
+    # Misspeculations only at the 4 outer-pass boundaries (address restart).
+    assert stats.validation_failures <= 4
+
+
+def test_dependent_arithmetic_vectorizes(sum_loop):
+    stats = run_timing(sum_loop, mode="V")
+    assert stats.vector_alu_instances > 0
+
+
+def test_vectorization_reduces_memory_reads(sum_loop):
+    wide = run_timing(sum_loop, mode="IM")
+    vec = run_timing(sum_loop, mode="V")
+    assert vec.scalar_loads_to_memory < wide.scalar_loads_to_memory
+
+
+def test_validations_are_substantial_fraction():
+    stats = run_timing(STRIDED, mode="V")
+    assert stats.validation_fraction > 0.10
+
+
+def test_registers_eventually_free(sum_loop):
+    stats = run_timing(sum_loop, mode="V")
+    # The outer loop re-enters 4 times; GMRBB changes release registers.
+    assert stats.registers_freed > 0
+    assert stats.registers_freed <= stats.registers_allocated
+
+
+def test_stride_break_fires_misspeculation():
+    # A load strided for 12 instances, then jumping to a far address.
+    text = """
+        .data
+        a: .word 1 2 3 4 5 6 7 8 9 10 11 12
+        b: .word 100 100 100 100
+        .text
+            li r1, a
+            li r4, 0
+        loop:
+            ld r3, 0(r1)
+            add r2, r2, r3
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 12
+            bne r5, r0, loop
+
+            li r1, b
+            li r4, 0
+        loop2:
+            ld r3, 0(r1)     ; same static load? no - new pc, but...
+            add r2, r2, r3
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 4
+            bne r5, r0, loop2
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    # The first loop's chained instance predicts past the end of `a`; when
+    # the loop exits, nothing validates it (that's 'computed not used'),
+    # and the run must stay sound either way.
+    assert stats.committed == stats.fetched or stats.committed > 0
+    assert stats.elements_computed_unused > 0
+
+
+def test_pointer_rewalk_breaks_stride_and_recovers():
+    """A loop whose load restarts at the array base every pass: the chained
+    instance predicts past the end and the next pass misspeculates — but
+    long passes re-earn confidence and keep most of the win."""
+    text = """
+        .data
+        a: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+           .word 17 18 19 20 21 22 23 24 25 26 27 28 29 30 31 32
+        .text
+            li r6, 0
+        outer:
+            li r1, a
+            li r4, 0
+        loop:
+            ld r3, 0(r1)
+            add r2, r2, r3
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 32
+            bne r5, r0, loop
+            addi r6, r6, 1
+            slti r5, r6, 8
+            bne r5, r0, outer
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    assert stats.validation_failures > 0  # stride breaks at pass boundaries
+    assert stats.validations_committed > 5 * stats.validation_failures
+
+
+def test_short_rewalk_loop_is_abandoned_by_damping():
+    """A 6-iteration rewalk breaks the stride every 6 instances; the TL
+    failure damping must give up rather than squash forever."""
+    text = """
+        .data
+        a: .word 1 2 3 4 5 6
+        .text
+            li r6, 0
+        outer:
+            li r1, a
+            li r4, 0
+        loop:
+            ld r3, 0(r1)
+            add r2, r2, r3
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 6
+            bne r5, r0, loop
+            addi r6, r6, 1
+            slti r5, r6, 12
+            bne r5, r0, outer
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    assert stats.validation_failures <= 3  # gave up after a couple of burns
+
+
+def test_store_conflict_invalidates_and_squashes():
+    # Read-modify-write of a single slot: the store lands on the address
+    # of a speculative (unvalidated) element every iteration.
+    text = """
+        .data
+        x: .word 0
+        .text
+            li r1, x
+            li r4, 0
+        loop:
+            ld r2, 0(r1)
+            addi r2, r2, 1
+            st r2, 0(r1)
+            addi r4, r4, 1
+            slti r5, r4, 24
+            bne r5, r0, loop
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    assert stats.store_conflicts > 0
+    # TL damping keeps the squash storm bounded.
+    assert stats.store_conflicts < 8
+
+
+def test_store_to_validated_element_is_not_a_conflict():
+    # In-place update y[i] = y[i] + 1: each store hits only the element
+    # that was just validated, so no invalidation may fire.
+    text = """
+        .data
+        y: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .text
+            li r1, y
+            li r4, 0
+        loop:
+            ld r2, 0(r1)
+            addi r2, r2, 1
+            st r2, 0(r1)
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 16
+            bne r5, r0, loop
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    assert stats.store_conflicts == 0
+    assert stats.validations_committed > 0
+
+
+def test_scalar_operand_capture_and_mismatch():
+    # r7 is a loop-invariant scalar multiplier for 8 iterations, then
+    # changes: the mixed instances must re-vectorize, never mis-validate.
+    text = """
+        .data
+        a: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .text
+            li r1, a
+            li r4, 0
+            li r7, 3
+        loop:
+            ld r3, 0(r1)
+            mul r2, r3, r7
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 8
+            bne r5, r0, loop
+
+            li r7, 5
+        loop2:
+            ld r3, 0(r1)
+            mul r2, r3, r7
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 16
+            bne r5, r0, loop2
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    assert stats.vector_alu_instances >= 2  # re-vectorized after the change
+    assert stats.committed == len(asm_trace(text).entries)
+
+
+def test_vreg_pool_exhaustion_falls_back_to_scalar(sum_loop):
+    stats = run_timing(sum_loop, mode="V", num_registers=2)
+    assert stats.vreg_alloc_failures > 0
+    assert stats.committed == len(sum_loop.entries)  # still completes
+
+
+def test_tiny_vrmt_still_sound(sum_loop):
+    stats = run_timing(sum_loop, mode="V", vrmt_sets=1, vrmt_ways=1)
+    assert stats.committed == len(sum_loop.entries)
+
+
+def test_blocking_mode_not_faster_than_ideal(sum_loop):
+    real = run_timing(sum_loop, mode="V", block_on_scalar_operand=True)
+    ideal = run_timing(sum_loop, mode="V", block_on_scalar_operand=False)
+    assert real.cycles >= ideal.cycles
+
+
+def test_control_independence_reuse_counted():
+    # Unpredictable branch inside a strided loop: validations after the
+    # flush reuse elements computed before it.
+    text = """
+        .data
+        d: .word 1 0 0 1 1 0 1 0 0 1 1 1 0 1 0 0
+           .word 1 0 1 1 0 0 1 0 1 1 0 1 0 0 1 0
+        .text
+            li r1, d
+            li r4, 0
+        loop:
+            ld r2, 0(r1)
+            beq r2, r0, skip
+            addi r6, r6, 1
+        skip:
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 32
+            bne r5, r0, loop
+            halt
+    """
+    stats = run_timing(text, mode="V")
+    assert stats.branch_mispredicts > 0
+    assert stats.cfi_window_instructions > 0
+    assert stats.cfi_reused > 0
+
+
+def test_element_fate_totals_consistent(sum_loop):
+    stats = run_timing(sum_loop, mode="V")
+    total = (
+        stats.elements_computed_used
+        + stats.elements_computed_unused
+        + stats.elements_not_computed
+    )
+    assert total == 4 * stats.registers_allocated
+
+
+def test_validation_count_matches_commits(sum_loop):
+    stats = run_timing(sum_loop, mode="V")
+    assert stats.validations_committed <= stats.committed
+    assert stats.committed == len(sum_loop.entries)
+
+
+def test_chaining_creates_multiple_instances():
+    # 32 iterations / 4 elements -> at least 7 chained load instances.
+    stats = run_timing(STRIDED, mode="V")
+    assert stats.vector_load_instances >= 7

@@ -1,0 +1,189 @@
+"""White-box coverage of the engine's decode decision paths."""
+
+from repro.core.engine import DecodeKind, VectorizationEngine
+from repro.pipeline.config import make_config
+from repro.pipeline.stats import SimStats
+
+
+class FakeLoadEntry:
+    """Minimal stand-in for a TraceEntry as decode_load sees it."""
+
+    def __init__(self, seq, pc, addr):
+        self.seq = seq
+        self.pc = pc
+        self.addr = addr
+        self.rd = 3
+        self.rs1 = 1
+        self.rs2 = -1
+        self.imm = 0
+        self.value = 0
+
+
+class FakeAluEntry:
+    def __init__(self, seq, pc, op):
+        from repro.isa import Opcode
+
+        self.seq = seq
+        self.pc = pc
+        self.op = getattr(Opcode, op)
+        self.rd = 2
+        self.rs1 = 2
+        self.rs2 = 3
+        self.imm = 0
+        self.s1 = 0
+        self.s2 = 0
+        self.value = 0
+
+
+def make_engine(**vector_overrides):
+    config = make_config(4, 1, "V")
+    for key, value in vector_overrides.items():
+        setattr(config.vector, key, value)
+    return VectorizationEngine(config, SimStats())
+
+
+def drive_load(engine, pc, addrs, start_seq=0):
+    decisions = []
+    for i, addr in enumerate(addrs):
+        entry = FakeLoadEntry(start_seq + i, pc, addr)
+        decisions.append(engine.decode_load(entry, now=i, first_time=True))
+    return decisions
+
+
+def test_load_decision_sequence():
+    engine = make_engine()
+    decisions = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(9)])
+    kinds = [d.kind for d in decisions]
+    assert kinds[:4] == [
+        DecodeKind.SCALAR,
+        DecodeKind.SCALAR,
+        DecodeKind.SCALAR,
+        DecodeKind.TRIGGER,
+    ]
+    # Instances 5..7 validate elements 1..3; instance 8 chains.
+    assert kinds[4:7] == [DecodeKind.VALIDATION] * 3
+    assert decisions[4].elem == 1 and decisions[6].elem == 3
+    assert decisions[7].kind is DecodeKind.TRIGGER
+    assert decisions[7].counts_as_validation  # chained creations validate elem 0
+
+
+def test_trigger_prefetches_whole_register_when_eager():
+    engine = make_engine()
+    drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    assert len(engine.pending_fetches) == 4
+
+
+def test_trigger_prefetches_partially_when_throttled():
+    engine = make_engine(fetch_ahead=1)
+    drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    assert len(engine.pending_fetches) == 2  # elements 0 and 1 only
+
+
+def test_pool_exhaustion_returns_scalar():
+    engine = make_engine(num_registers=1)
+    drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    # Second strided load cannot allocate.
+    decisions = drive_load(engine, pc=20, addrs=[0x2000 + 8 * i for i in range(4)], start_seq=10)
+    assert decisions[3].kind is DecodeKind.SCALAR
+    assert engine.stats.vreg_alloc_failures >= 1
+
+
+def test_alu_decode_requires_vector_source():
+    engine = make_engine()
+    entry = FakeAluEntry(0, 50, "ADD")
+    decision = engine.decode_alu(entry, (("S", 2, 5), ("S", 3, 7)), now=0)
+    assert decision.kind is DecodeKind.SCALAR
+
+
+def test_alu_decode_vectorizes_and_validates():
+    engine = make_engine()
+    decisions = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    reg = decisions[3].reg
+    entry = FakeAluEntry(4, 50, "ADD")
+    first = engine.decode_alu(entry, (("V", reg, 0), ("S", 3, 7)), now=4)
+    assert first.kind is DecodeKind.TRIGGER
+    second = engine.decode_alu(
+        FakeAluEntry(5, 50, "ADD"), (("V", reg, 1), ("S", 3, 7)), now=5
+    )
+    assert second.kind is DecodeKind.VALIDATION
+    assert second.elem == 1
+
+
+def test_alu_scalar_value_change_forces_new_instance():
+    engine = make_engine()
+    decisions = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    reg = decisions[3].reg
+    engine.decode_alu(FakeAluEntry(4, 50, "ADD"), (("V", reg, 0), ("S", 3, 7)), now=4)
+    # Same registers, different scalar value -> operand check must fail.
+    redo = engine.decode_alu(
+        FakeAluEntry(5, 50, "ADD"), (("V", reg, 1), ("S", 3, 99)), now=5
+    )
+    assert redo.kind is DecodeKind.TRIGGER
+    assert engine.stats.vector_alu_instances == 2
+
+
+def test_alu_source_register_change_forces_new_instance():
+    engine = make_engine()
+    d1 = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    d2 = drive_load(engine, pc=20, addrs=[0x4000 + 8 * i for i in range(4)], start_seq=10)
+    reg1, reg2 = d1[3].reg, d2[3].reg
+    engine.decode_alu(FakeAluEntry(20, 50, "ADD"), (("V", reg1, 0), ("S", 3, 7)), now=20)
+    redo = engine.decode_alu(
+        FakeAluEntry(21, 50, "ADD"), (("V", reg2, 0), ("S", 3, 7)), now=21
+    )
+    assert redo.kind is DecodeKind.TRIGGER
+
+
+def test_alu_misaligned_source_offset_forces_new_instance():
+    engine = make_engine()
+    decisions = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    reg = decisions[3].reg
+    engine.decode_alu(FakeAluEntry(4, 50, "ADD"), (("V", reg, 0), ("S", 3, 7)), now=4)
+    # The source element skips from 0 to 2 (control divergence): the
+    # rename-offset part of the §3.2 check must reject the validation.
+    redo = engine.decode_alu(
+        FakeAluEntry(5, 50, "ADD"), (("V", reg, 2), ("S", 3, 7)), now=5
+    )
+    assert redo.kind is DecodeKind.TRIGGER
+
+
+def test_alu_two_vector_sources_with_different_offsets():
+    engine = make_engine()
+    d1 = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    d2 = drive_load(engine, pc=20, addrs=[0x4000 + 8 * i for i in range(6)], start_seq=10)
+    reg1 = d1[3].reg
+    reg2 = d2[3].reg
+    # reg1 at element 0, reg2 already at element 2 -> start offset 2 (§3.4).
+    decision = engine.decode_alu(
+        FakeAluEntry(20, 60, "SUB"), (("V", reg1, 0), ("V", reg2, 2)), now=20
+    )
+    assert decision.kind is DecodeKind.TRIGGER
+    assert decision.elem == 2
+    assert engine.stats.offset_instances == 1
+
+
+def test_store_conflict_marks_only_speculative_registers():
+    engine = make_engine()
+    decisions = drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    reg = decisions[3].reg
+    # The register covers the trigger address (0x1018) plus three strides.
+    # Element 1 (0x1020) is still unvalidated -> a store there conflicts.
+    assert engine.on_store_commit(0x1020, now=10)
+    assert reg.defunct
+    assert engine.stats.store_conflicts == 1
+
+
+def test_store_outside_ranges_is_clean():
+    engine = make_engine()
+    drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    assert not engine.on_store_commit(0x9000, now=10)
+
+
+def test_vrmt_pressure_orphans_registers_without_crashing():
+    engine = make_engine(vrmt_sets=1, vrmt_ways=1)
+    drive_load(engine, pc=10, addrs=[0x1000 + 8 * i for i in range(4)])
+    drive_load(engine, pc=20, addrs=[0x4000 + 8 * i for i in range(4)], start_seq=10)
+    # pc 10's mapping was evicted by pc 20's.
+    assert engine.vrmt.lookup(10) is None
+    assert engine.vrmt.lookup(20) is not None
+    assert engine.vrmt.orphaned_registers >= 1

@@ -1,0 +1,96 @@
+"""The configuration extensions: TL damping and throttled fetching."""
+
+from ..conftest import run_timing
+
+SHORT_REWALK = """
+    .data
+    a: .word 1 2 3 4 5 6 7 8 9 10
+    .text
+        li r6, 0
+    outer:
+        li r1, a
+        li r4, 0
+    loop:
+        ld r3, 0(r1)
+        add r2, r2, r3
+        addi r1, r1, 8
+        addi r4, r4, 1
+        slti r5, r4, 10
+        bne r5, r0, loop
+        addi r6, r6, 1
+        slti r5, r6, 12
+        bne r5, r0, outer
+        halt
+"""
+
+SPILL_LOOP = """
+    .data
+    x: .word 0
+    .text
+        li r1, x
+        li r4, 0
+    loop:
+        ld r2, 0(r1)
+        addi r2, r2, 1
+        st r2, 0(r1)
+        addi r4, r4, 1
+        slti r5, r4, 64
+        bne r5, r0, loop
+        halt
+"""
+
+
+def test_damping_off_matches_paper_text_and_squashes_more():
+    damped = run_timing(SPILL_LOOP, mode="V", tl_damping=True)
+    literal = run_timing(SPILL_LOOP, mode="V", tl_damping=False)
+    assert literal.store_conflicts > damped.store_conflicts
+    # Both stay sound and complete.
+    assert literal.committed == damped.committed
+
+
+def test_damping_off_still_sound_on_stride_breaks():
+    stats = run_timing(SHORT_REWALK, mode="V", tl_damping=False)
+    # fetched > committed: squashed instructions are re-dispatched.
+    assert stats.fetched >= stats.committed > 0
+    assert stats.validation_failures > 0
+
+
+def test_fetch_ahead_soundness(sum_loop):
+    for ahead in (1, 2, 3):
+        stats = run_timing(sum_loop, mode="V", fetch_ahead=ahead)
+        assert stats.committed == len(sum_loop.entries)
+        assert stats.validations_committed > 0
+
+
+def test_fetch_ahead_cancels_dead_tails():
+    stats = run_timing(
+        SHORT_REWALK, mode="V", fetch_ahead=1, cancel_dead_fetches=True
+    )
+    assert stats.fetches_cancelled > 0
+    assert stats.fetched >= stats.committed > 0
+
+
+def test_fetch_ahead_reduces_unused_elements():
+    eager = run_timing(SHORT_REWALK, mode="V")
+    throttled = run_timing(
+        SHORT_REWALK, mode="V", fetch_ahead=1, cancel_dead_fetches=True
+    )
+    assert (
+        throttled.avg_elements["computed_unused"]
+        <= eager.avg_elements["computed_unused"]
+    )
+
+
+def test_abandoned_registers_do_not_leak(sum_loop):
+    stats = run_timing(
+        sum_loop, mode="V", fetch_ahead=1, cancel_dead_fetches=True, num_registers=8
+    )
+    # With only 8 registers, leaked abandoned registers would starve the
+    # pool and show up as massive allocation failures.
+    assert stats.committed == len(sum_loop.entries)
+    assert stats.registers_freed > 0
+
+
+def test_cancel_dead_fetches_alone_is_safe(sum_loop):
+    stats = run_timing(sum_loop, mode="V", cancel_dead_fetches=True)
+    assert stats.committed == len(sum_loop.entries)

@@ -1,0 +1,14 @@
+"""Hardware-cost figures of §4.1: the added state totals 56 KB."""
+
+from repro.core import TableOfLoads, VectorRegisterFile, VRMT
+
+
+def test_total_extra_storage_is_56kb():
+    total = (
+        VectorRegisterFile().storage_bytes
+        + VRMT().storage_bytes
+        + TableOfLoads().storage_bytes
+    )
+    # 4096 + 4608 + 49152 = 57856 bytes = 56.5 KB; the paper rounds to 56 KB.
+    assert total == 4096 + 4608 + 49152
+    assert 56 * 1024 <= total <= 57 * 1024

@@ -1,0 +1,96 @@
+"""Table of Loads: stride detection, confidence, damping."""
+
+from repro.core import TableOfLoads
+
+
+def observe_n(tl, pc, base, stride, count):
+    results = []
+    for i in range(count):
+        results.append(tl.observe(pc, base + i * stride))
+    return results
+
+
+def test_first_sighting_not_vectorizable():
+    tl = TableOfLoads()
+    stride, ok = tl.observe(100, 0x1000)
+    assert stride is None and not ok
+
+
+def test_fires_on_third_consistent_instance():
+    """The paper (§2): 'at least three dynamic instances are needed'."""
+    tl = TableOfLoads()
+    results = observe_n(tl, 100, 0x1000, 8, 4)
+    # instance 1: no stride; 2: stride learned, conf 0; 3: conf 1;
+    # 4: conf 2 -> vectorizable.
+    assert [ok for _, ok in results] == [False, False, False, True]
+    assert results[-1][0] == 8
+
+
+def test_stride_zero_detects():
+    tl = TableOfLoads()
+    results = observe_n(tl, 7, 0x2000, 0, 5)
+    assert results[-1] == (0, True)
+
+
+def test_stride_change_resets_confidence():
+    tl = TableOfLoads()
+    observe_n(tl, 1, 0, 8, 4)
+    stride, ok = tl.observe(1, 1000)  # break the stride
+    assert not ok
+    # Needs to re-earn confidence at the new stride.
+    assert tl.observe(1, 1008) == (8, False)
+    assert tl.observe(1, 1016) == (8, False)
+    assert tl.observe(1, 1024) == (8, True)
+
+
+def test_independent_pcs():
+    tl = TableOfLoads()
+    observe_n(tl, 1, 0, 8, 4)
+    assert tl.observe(2, 500) == (None, False)  # fresh pc unaffected
+    assert tl.stride_of(1) == 8
+
+
+def test_punish_raises_the_bar():
+    tl = TableOfLoads()
+    observe_n(tl, 1, 0, 8, 4)
+    tl.punish(1)
+    # After one failure the threshold doubles: 3 repeats are no longer
+    # enough.
+    results = observe_n(tl, 1, 1000, 8, 4)
+    assert not any(ok for _, ok in results)
+    # ... but persistence eventually re-qualifies.
+    results = observe_n(tl, 1, 2000, 8, 6)
+    assert results[-1][1]
+
+
+def test_reward_relaxes_damping():
+    tl = TableOfLoads()
+    observe_n(tl, 1, 0, 8, 4)
+    tl.punish(1)
+    tl.reward(1)
+    results = observe_n(tl, 1, 1000, 8, 4)
+    assert results[-1][1]  # back to the base threshold
+
+
+def test_punish_saturates():
+    tl = TableOfLoads()
+    observe_n(tl, 1, 0, 8, 4)
+    for _ in range(20):
+        tl.punish(1)
+    entry = tl.table.peek(1)
+    assert entry.failures <= 4
+    # Still recoverable within a bounded number of instances.
+    results = observe_n(tl, 1, 0, 8, 64)
+    assert results[-1][1]
+
+
+def test_eviction_forgets():
+    tl = TableOfLoads(ways=1, sets=1)
+    observe_n(tl, 1, 0, 8, 4)
+    tl.observe(2, 0)  # evicts pc 1
+    assert tl.observe(1, 8) == (None, False)  # starts from scratch
+
+
+def test_storage_bytes_matches_paper():
+    """§4.1: the TL requires 49152 bytes (4 ways x 512 sets x 24 bytes)."""
+    assert TableOfLoads().storage_bytes == 49152

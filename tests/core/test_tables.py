@@ -1,0 +1,71 @@
+"""Generic set-associative table."""
+
+import pytest
+
+from repro.core import SetAssocTable
+
+
+def test_insert_lookup():
+    t = SetAssocTable(2, 4)
+    t.insert(5, "a")
+    assert t.lookup(5) == "a"
+    assert t.lookup(6) is None
+
+
+def test_same_set_mapping():
+    t = SetAssocTable(2, 4)
+    # PCs 1 and 5 share set 1.
+    t.insert(1, "a")
+    t.insert(5, "b")
+    assert t.lookup(1) == "a" and t.lookup(5) == "b"
+
+
+def test_lru_eviction_within_set():
+    t = SetAssocTable(2, 4)
+    t.insert(1, "a")
+    t.insert(5, "b")
+    t.lookup(1)  # refresh 1
+    evicted = t.insert(9, "c")  # same set, evicts 5
+    assert evicted == "b"
+    assert t.lookup(5) is None
+    assert t.lookup(1) == "a"
+    assert t.evictions == 1
+
+
+def test_reinsert_replaces_without_eviction():
+    t = SetAssocTable(2, 4)
+    t.insert(1, "a")
+    assert t.insert(1, "b") is None
+    assert t.lookup(1) == "b"
+    assert len(t) == 1
+
+
+def test_peek_does_not_touch_lru():
+    t = SetAssocTable(2, 2)
+    t.insert(0, "a")
+    t.insert(2, "b")
+    t.peek(0)  # would refresh if it were lookup
+    evicted = t.insert(4, "c")
+    assert evicted == "a"  # 0 stayed LRU
+
+
+def test_invalidate():
+    t = SetAssocTable(2, 2)
+    t.insert(0, "a")
+    assert t.invalidate(0) == "a"
+    assert t.lookup(0) is None
+    assert t.invalidate(0) is None
+
+
+def test_items_iterates_everything():
+    t = SetAssocTable(2, 2)
+    t.insert(0, "a")
+    t.insert(1, "b")
+    assert dict(t.items()) == {0: "a", 1: "b"}
+
+
+def test_bad_geometry():
+    with pytest.raises(ValueError):
+        SetAssocTable(0, 4)
+    with pytest.raises(ValueError):
+        SetAssocTable(4, 0)

@@ -1,0 +1,153 @@
+"""Vector register file: element flags, the two freeing rules, generations."""
+
+from repro.core import VectorRegisterFile
+
+
+def fresh(vl=4, regs=8):
+    vrf = VectorRegisterFile(num_registers=regs, vector_length=vl)
+    reg = vrf.allocate(pc=10, is_load=True, start_offset=0, mrbb=100)
+    return vrf, reg
+
+
+def complete_all(reg, now=5):
+    for k in range(reg.length):
+        reg.r_time[k] = now
+
+
+def test_allocation_and_exhaustion():
+    vrf = VectorRegisterFile(num_registers=2, vector_length=4)
+    a = vrf.allocate(1, True, 0, -1)
+    b = vrf.allocate(2, True, 0, -1)
+    assert a is not None and b is not None
+    assert vrf.allocate(3, True, 0, -1) is None  # §3.3: stay scalar
+    assert vrf.free_count == 0
+
+
+def test_generations_bump_on_reuse():
+    vrf = VectorRegisterFile(num_registers=1, vector_length=4)
+    a = vrf.allocate(1, True, 0, -1)
+    vrf.free(a)
+    b = vrf.allocate(2, True, 0, -1)
+    assert b.slot == a.slot
+    assert b.gen == a.gen + 1
+
+
+def test_free_is_idempotent():
+    vrf, reg = fresh()
+    vrf.free(reg)
+    vrf.free(reg)
+    assert vrf.free_count == 8
+
+
+def test_load_address_range():
+    vrf, reg = fresh()
+    reg.set_load_addresses(0x1000, 8)
+    assert reg.pred_addrs == [0x1000, 0x1008, 0x1010, 0x1018]
+    assert reg.covers(0x1008)
+    assert not reg.covers(0x0FF8)
+    assert not reg.covers(0x1020)
+
+
+def test_negative_stride_range():
+    vrf, reg = fresh()
+    reg.set_load_addresses(0x1000, -8)
+    assert reg.first_addr == 0x1000 - 24
+    assert reg.covers(0x1000 - 16)
+
+
+def test_elem_done_needs_time_passed():
+    vrf, reg = fresh()
+    reg.r_time[0] = 7
+    assert not reg.elem_done(0, 6)
+    assert reg.elem_done(0, 7)
+    assert not reg.elem_scheduled(1)
+
+
+def test_rule1_all_computed_and_freed():
+    """§3.3 rule 1: every element has R and F set."""
+    vrf, reg = fresh()
+    complete_all(reg)
+    assert not reg.should_free(10, gmrbb=100)
+    for k in range(4):
+        reg.f_flag[k] = True
+    assert reg.should_free(10, gmrbb=100)  # even with MRBB == GMRBB
+
+
+def test_rule2_needs_loop_exit():
+    """§3.3 rule 2: validated elements freed, all R, no U, MRBB != GMRBB."""
+    vrf, reg = fresh()
+    complete_all(reg)
+    reg.v_flag[0] = True
+    reg.f_flag[0] = True  # the only validated element is freed
+    assert not reg.should_free(10, gmrbb=100)  # same loop -> keep
+    assert reg.should_free(10, gmrbb=200)  # loop terminated -> release
+
+
+def test_rule2_blocked_by_in_flight_validation():
+    vrf, reg = fresh()
+    complete_all(reg)
+    reg.u_flag[2] = True
+    assert not reg.should_free(10, gmrbb=200)
+    reg.u_flag[2] = False
+    assert reg.should_free(10, gmrbb=200)
+
+
+def test_rule2_blocked_by_uncomputed_element():
+    vrf, reg = fresh()
+    complete_all(reg)
+    reg.r_time[3] = None
+    assert not reg.should_free(10, gmrbb=200)
+
+
+def test_rule2_blocked_by_unfreed_validated_element():
+    vrf, reg = fresh()
+    complete_all(reg)
+    reg.v_flag[1] = True  # validated but F not yet set
+    assert not reg.should_free(10, gmrbb=200)
+
+
+def test_defunct_frees_once_validations_drain():
+    vrf, reg = fresh()
+    reg.defunct = True
+    reg.u_flag[0] = True
+    assert not reg.should_free(10, gmrbb=100)
+    reg.u_flag[0] = False
+    assert reg.should_free(10, gmrbb=100)
+
+
+def test_start_offset_elements_vacuously_complete():
+    vrf = VectorRegisterFile(num_registers=4, vector_length=4)
+    reg = vrf.allocate(1, False, start_offset=2, mrbb=-1)
+    assert reg.elem_done(0, 0) and reg.f_flag[0]
+    reg.r_time[2] = reg.r_time[3] = 1
+    assert reg.should_free(5, gmrbb=99)  # rule 2 with nothing validated
+
+
+def test_element_fates_accounting():
+    vrf, reg = fresh()
+    reg.r_time[0] = reg.r_time[1] = 3
+    reg.v_flag[0] = True
+    used, unused, not_computed = reg.element_fates(10)
+    assert (used, unused, not_computed) == (1, 1, 2)
+
+
+def test_element_fates_counts_prestart_as_not_computed():
+    vrf = VectorRegisterFile(num_registers=4, vector_length=4)
+    reg = vrf.allocate(1, False, start_offset=2, mrbb=-1)
+    reg.r_time[2] = reg.r_time[3] = 1
+    reg.v_flag[2] = True
+    used, unused, not_computed = reg.element_fates(10)
+    assert (used, unused, not_computed) == (1, 1, 2)
+
+
+def test_live_registers_listing():
+    vrf = VectorRegisterFile(num_registers=4, vector_length=4)
+    a = vrf.allocate(1, True, 0, -1)
+    b = vrf.allocate(2, True, 0, -1)
+    vrf.free(a)
+    assert vrf.live_registers() == [b]
+
+
+def test_storage_bytes_matches_paper():
+    """§4.1: 4 KB (4 elements x 8 bytes x 128 registers)."""
+    assert VectorRegisterFile().storage_bytes == 4096

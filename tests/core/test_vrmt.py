@@ -1,0 +1,83 @@
+"""Vector Register Map Table semantics."""
+
+from repro.core import VectorRegisterFile, VRMT, VRMTEntry
+
+
+def make_reg(vrf=None, pc=1):
+    vrf = vrf or VectorRegisterFile(num_registers=4, vector_length=4)
+    return vrf, vrf.allocate(pc, True, 0, -1)
+
+
+def test_insert_lookup_offset():
+    vrf, reg = make_reg()
+    table = VRMT()
+    table.insert(10, VRMTEntry(reg, offset=1))
+    entry = table.lookup(10)
+    assert entry.reg is reg and entry.offset == 1
+
+
+def test_lookup_filters_freed_registers():
+    vrf, reg = make_reg()
+    table = VRMT()
+    table.insert(10, VRMTEntry(reg, offset=1))
+    vrf.free(reg)
+    assert table.lookup(10) is None
+    # the stale entry is dropped eagerly
+    assert table.table.peek(10) is None
+
+
+def test_lookup_filters_defunct_registers():
+    vrf, reg = make_reg()
+    table = VRMT()
+    table.insert(10, VRMTEntry(reg, offset=1))
+    reg.defunct = True
+    assert table.lookup(10) is None
+
+
+def test_invalidate():
+    vrf, reg = make_reg()
+    table = VRMT()
+    table.insert(10, VRMTEntry(reg, offset=0))
+    assert table.invalidate(10).reg is reg
+    assert table.lookup(10) is None
+
+
+def test_snapshot_restore_rolls_back_offset():
+    vrf, reg = make_reg()
+    table = VRMT()
+    table.insert(10, VRMTEntry(reg, offset=1))
+    snap = table.lookup(10).snapshot()
+    table.lookup(10).offset = 3
+    table.restore(10, snap)
+    assert table.lookup(10).offset == 1
+
+
+def test_restore_none_invalidates():
+    vrf, reg = make_reg()
+    table = VRMT()
+    table.insert(10, VRMTEntry(reg, offset=1))
+    table.restore(10, None)
+    assert table.lookup(10) is None
+
+
+def test_eviction_counts_orphans():
+    vrf = VectorRegisterFile(num_registers=8, vector_length=4)
+    table = VRMT(ways=1, sets=1)
+    _, a = VectorRegisterFile(8, 4), vrf.allocate(1, True, 0, -1)
+    b = vrf.allocate(2, True, 0, -1)
+    table.insert(1, VRMTEntry(a, offset=0))
+    table.insert(2, VRMTEntry(b, offset=0))  # evicts pc 1
+    assert table.orphaned_registers == 1
+
+
+def test_src_desc_and_scalar_value_fields():
+    vrf, reg = make_reg()
+    entry = VRMTEntry(reg, offset=0, src_desc=(("V", 0, 1, 0), ("S", 5)), scalar_value=2.5)
+    snap = entry.snapshot()
+    assert snap.src_desc == entry.src_desc
+    assert snap.scalar_value == 2.5
+
+
+def test_storage_bytes_matches_paper():
+    """§4.1: 4608 bytes (4 ways x 64 sets x 18 bytes)."""
+    assert VRMT().storage_bytes == 4608

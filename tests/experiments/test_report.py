@@ -1,0 +1,33 @@
+"""The EXPERIMENTS.md generator and the paper-reference tables."""
+
+from repro.experiments.paper_reference import (
+    HEADLINE,
+    SHAPES,
+    VECTORIZABLE_FRACTION,
+    same_sign,
+)
+from repro.experiments.report import build_report
+
+
+def test_paper_reference_is_complete():
+    assert len(HEADLINE) == 8
+    assert all(isinstance(v, float) for v in HEADLINE.values())
+    assert 0 < VECTORIZABLE_FRACTION["int"] < 1
+    assert len(SHAPES) == 10
+
+
+def test_same_sign():
+    assert same_sign(0.1, 0.5)
+    assert same_sign(-0.1, -0.5)
+    assert not same_sign(-0.1, 0.5)
+
+
+def test_build_report_structure():
+    text = build_report(scale=2_500)
+    assert text.startswith("# EXPERIMENTS")
+    assert "## Headline claims" in text
+    assert "int_validation_fraction" in text
+    assert "## Full tables" in text
+    # every figure section appears (generated or placeholder)
+    for fig in ("Figure 1", "Figure 11 (4-way)", "Figure 15"):
+        assert fig in text

@@ -1,0 +1,194 @@
+"""Architectural interpreter: programs, trace contents, edge cases."""
+
+import pytest
+
+from repro.functional import ExecutionError, run_program
+from repro.isa import Opcode, assemble
+from repro.isa.assembler import DATA_BASE
+from repro.isa.program import WORD_SIZE
+
+from ..conftest import asm_trace
+
+
+def test_fibonacci():
+    trace = asm_trace(
+        """
+        li r1, 0
+        li r2, 1
+        li r4, 0
+    loop:
+        add r3, r1, r2
+        add r1, r2, r0
+        add r2, r3, r0
+        addi r4, r4, 1
+        slti r5, r4, 10
+        bne r5, r0, loop
+        halt
+        """
+    )
+    assert trace.halted
+    assert trace.final_int_regs[1] == 55  # fib(10)
+
+
+def test_memcpy_program():
+    trace = asm_trace(
+        """
+        .data
+        src: .word 3 1 4 1 5
+        dst: .space 5
+        .text
+            li r1, src
+            li r2, dst
+            li r4, 0
+        loop:
+            ld r3, 0(r1)
+            st r3, 0(r2)
+            addi r1, r1, 8
+            addi r2, r2, 8
+            addi r4, r4, 1
+            slti r5, r4, 5
+            bne r5, r0, loop
+            halt
+        """
+    )
+    base = DATA_BASE + 5 * WORD_SIZE
+    assert [trace.final_memory.load(base + k * WORD_SIZE) for k in range(5)] == [3, 1, 4, 1, 5]
+
+
+def test_zero_register_is_immutable():
+    trace = asm_trace("addi r0, r0, 5\nadd r1, r0, r0\nhalt")
+    assert trace.final_int_regs[0] == 0
+    assert trace.final_int_regs[1] == 0
+
+
+def test_fp_pipeline():
+    trace = asm_trace(
+        """
+        .data
+        v: .word 2.0 8.0
+        .text
+        li r1, v
+        fld f1, 0(r1)
+        fld f2, 8(r1)
+        fmul f3, f1, f2
+        fsqrt f4, f3
+        fst f4, 0(r1)
+        halt
+        """
+    )
+    assert trace.final_memory.load(DATA_BASE) == 4.0
+
+
+def test_jal_links_and_jr_returns():
+    trace = asm_trace(
+        """
+        jal r31, sub
+        li r2, 7
+        halt
+    sub:
+        li r1, 3
+        jr r31
+        """
+    )
+    assert trace.halted
+    assert trace.final_int_regs[1] == 3
+    assert trace.final_int_regs[2] == 7
+
+
+def test_jr_to_invalid_target_raises():
+    with pytest.raises(ExecutionError):
+        asm_trace("li r1, 999\njr r1\nhalt")
+
+
+def test_instruction_cap_stops_infinite_loop():
+    trace = run_program(assemble("loop: j loop"), max_instructions=500)
+    assert not trace.halted
+    assert len(trace) == 500
+
+
+def test_trace_entry_fields_for_load_store():
+    trace = asm_trace(
+        """
+        .data
+        x: .word 11
+        .text
+        li r1, x
+        ld r2, 0(r1)
+        st r2, 8(r1)
+        halt
+        """
+    )
+    ld = trace.entries[1]
+    st = trace.entries[2]
+    assert ld.is_load and ld.addr == DATA_BASE and ld.value == 11
+    assert st.is_store and st.addr == DATA_BASE + 8 and st.value == 11
+    assert st.s2 == 11
+
+
+def test_trace_entry_fields_for_branch():
+    trace = asm_trace(
+        """
+        li r1, 1
+        beq r1, r0, skip
+        li r2, 5
+    skip:
+        halt
+        """
+    )
+    branch = trace.entries[1]
+    assert branch.is_branch and not branch.taken
+    assert branch.next_pc == 2
+
+
+def test_taken_branch_next_pc():
+    trace = asm_trace(
+        """
+        beq r0, r0, skip
+        li r2, 5
+    skip:
+        halt
+        """
+    )
+    assert trace.entries[0].taken
+    assert trace.entries[0].next_pc == 2
+    assert len(trace) == 2  # li skipped
+
+
+def test_sequence_numbers_are_dense():
+    trace = asm_trace("nop\nnop\nnop\nhalt")
+    assert [e.seq for e in trace] == [0, 1, 2, 3]
+
+
+def test_initial_memory_preserved():
+    trace = asm_trace(
+        """
+        .data
+        x: .word 5
+        .text
+        li r1, x
+        li r2, 9
+        st r2, 0(r1)
+        halt
+        """
+    )
+    assert trace.initial_memory.load(DATA_BASE) == 5
+    assert trace.final_memory.load(DATA_BASE) == 9
+
+
+def test_halt_entry_repeats_own_pc():
+    trace = asm_trace("halt")
+    assert trace.entries[0].op is Opcode.HALT
+    assert trace.entries[0].next_pc == 0
+
+
+def test_fall_off_end_terminates():
+    trace = asm_trace("nop\nnop")
+    assert not trace.halted
+    assert len(trace) == 2
+
+
+def test_div_by_zero_does_not_trap():
+    trace = asm_trace("li r1, 10\ndiv r2, r1, r0\nrem r3, r1, r0\nhalt")
+    assert trace.halted
+    assert trace.final_int_regs[2] == 0
+    assert trace.final_int_regs[3] == 10

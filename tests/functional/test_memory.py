@@ -1,0 +1,66 @@
+"""Sparse word-addressed memory image."""
+
+import pytest
+
+from repro.functional import MemoryImage, MisalignedAccess
+from repro.isa.program import WORD_SIZE
+
+
+def test_unwritten_reads_zero():
+    assert MemoryImage().load(0) == 0
+    assert MemoryImage().load(8 * 1024) == 0
+
+
+def test_store_then_load():
+    mem = MemoryImage()
+    mem.store(16, 42)
+    assert mem.load(16) == 42
+
+
+def test_float_values_roundtrip():
+    mem = MemoryImage()
+    mem.store(8, 2.75)
+    assert mem.load(8) == 2.75
+
+
+def test_initial_contents():
+    mem = MemoryImage({0: 1, WORD_SIZE: 2})
+    assert mem.load(0) == 1
+    assert mem.load(WORD_SIZE) == 2
+
+
+def test_misaligned_access_raises():
+    mem = MemoryImage()
+    with pytest.raises(MisalignedAccess):
+        mem.load(3)
+    with pytest.raises(MisalignedAccess):
+        mem.store(5, 1)
+    with pytest.raises(MisalignedAccess):
+        MemoryImage({1: 9})
+
+
+def test_copy_is_independent():
+    mem = MemoryImage({0: 1})
+    clone = mem.copy()
+    clone.store(0, 99)
+    assert mem.load(0) == 1
+    assert clone.load(0) == 99
+
+
+def test_equality_ignores_explicit_zeros():
+    a = MemoryImage({0: 0, 8: 5})
+    b = MemoryImage({8: 5})
+    assert a == b
+    b.store(16, 1)
+    assert a != b
+
+
+def test_len_and_items():
+    mem = MemoryImage({0: 1, 8: 2})
+    assert len(mem) == 2
+    assert dict(mem.items()) == {0: 1, 8: 2}
+
+
+def test_unhashable():
+    with pytest.raises(TypeError):
+        hash(MemoryImage())

@@ -1,0 +1,44 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "swim" in out and "gcc" in out
+
+
+def test_run_benchmark(capsys):
+    assert main(["run", "ijpeg", "--mode", "V", "--scale", "2500"]) == 0
+    out = capsys.readouterr().out
+    assert "IPC=" in out
+    assert "vector:" in out
+
+
+def test_run_rejects_unknown_benchmark(capsys):
+    assert main(["run", "mcf", "--scale", "2500"]) == 2
+
+
+def test_figures_subset(capsys):
+    assert main(["figures", "--scale", "2500", "--only", "fig14"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 14" in out
+    assert "TOTAL" in out
+
+
+def test_figures_rejects_unknown(capsys):
+    assert main(["figures", "--only", "fig99"]) == 2
+
+
+def test_headline(capsys):
+    assert main(["headline", "--scale", "2500"]) == 0
+    out = capsys.readouterr().out
+    assert "int_validation_fraction" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,37 @@
+"""The example scripts must run end to end and print their reports."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "IPC" in out
+    assert "noIM" in out and "V" in out
+
+
+def test_pointer_chase(capsys):
+    out = run_example("pointer_chase_vectorization.py", capsys)
+    assert "sequential" in out and "shuffled" in out
+    assert "speedup" in out
+
+
+def test_control_flow_independence(capsys):
+    out = run_example("control_flow_independence.py", capsys)
+    assert "mispredicts" in out
+    assert "reuse" in out
+
+
+def test_stride_profiler(capsys):
+    out = run_example("stride_profiler.py", capsys)
+    assert "SpecInt" in out and "SpecFP" in out
+    assert "stride" in out

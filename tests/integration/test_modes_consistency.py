@@ -1,0 +1,77 @@
+"""Cross-mode integration over the synthetic SPEC95 suite."""
+
+import pytest
+
+from repro.pipeline import make_config
+from repro.pipeline.machine import Machine
+from repro.workloads import ALL_BENCHMARKS, cached_trace
+
+SCALE = 4_000
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for name in ALL_BENCHMARKS:
+        trace = cached_trace(name, SCALE)
+        out[name] = {
+            mode: Machine(make_config(4, 1, mode), trace).run()
+            for mode in ("noIM", "IM", "V")
+        }
+    return out
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_all_modes_commit_whole_trace(name, results):
+    trace_len = len(cached_trace(name, SCALE).entries)
+    for mode, stats in results[name].items():
+        assert stats.committed == trace_len, mode
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_wide_bus_never_increases_read_transactions(name, results):
+    r = results[name]
+    assert r["IM"].read_accesses <= r["noIM"].read_accesses
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_vectorization_reduces_scalar_memory_loads(name, results):
+    r = results[name]
+    if r["V"].vector_load_instances:
+        assert r["V"].scalar_loads_to_memory < r["IM"].scalar_loads_to_memory
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_v_mode_not_catastrophic(name, results):
+    """The mechanism may lose a little on hostile codes (the paper's fpppp
+    damping regime) but must never halve performance."""
+    r = results[name]
+    assert r["V"].ipc > 0.7 * r["IM"].ipc
+
+
+def test_v_wins_on_suite_average(results):
+    avg = {
+        mode: sum(r[mode].ipc for r in results.values()) / len(results)
+        for mode in ("noIM", "IM", "V")
+    }
+    assert avg["V"] > avg["IM"] >= avg["noIM"] * 0.999
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_occupancy_drops_for_heavy_validators(name, results):
+    """Fig 12's claim: where the mechanism converts a large share of the
+    instructions into validations, pressure on the L1 ports falls.  (Codes
+    that vectorize little may show *higher* occupancy simply because V
+    finishes the same work in fewer cycles.)"""
+    r = results[name]
+    if r["V"].validation_fraction > 0.3:
+        assert r["V"].port_occupancy <= r["IM"].port_occupancy * 1.25
+
+
+@pytest.mark.parametrize("name", ["swim", "ijpeg", "m88ksim"])
+def test_strided_benchmarks_validate_heavily(name, results):
+    assert results[name]["V"].validation_fraction > 0.2
+
+
+def test_pointer_benchmarks_validate_little(results):
+    assert results["li"]["V"].validation_fraction < 0.35

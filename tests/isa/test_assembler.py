@@ -1,0 +1,158 @@
+"""Two-pass assembler: syntax, labels, data layout, errors."""
+
+import pytest
+
+from repro.isa import AssemblerError, Opcode, assemble
+from repro.isa.assembler import DATA_BASE
+from repro.isa.program import WORD_SIZE
+
+
+def test_minimal_program():
+    program = assemble("halt")
+    assert len(program) == 1
+    assert program[0].op is Opcode.HALT
+
+
+def test_all_rr3_mnemonics():
+    text = "\n".join(
+        f"{m} r1, r2, r3"
+        for m in "add sub mul div rem and or xor sll srl sra slt".split()
+    )
+    program = assemble(text + "\nhalt")
+    assert program[0].op is Opcode.ADD
+    assert program[6].op is Opcode.OR
+    assert all(ins.rd == 1 and ins.rs1 == 2 and ins.rs2 == 3 for ins in program.instructions[:12])
+
+
+def test_fp_mnemonics():
+    program = assemble("fadd f1, f2, f3\nfneg f4, f5\nitof f6, r1\nftoi r2, f7\nhalt")
+    assert program[0].op is Opcode.FADD
+    assert program[0].rd == 33 and program[0].rs1 == 34
+    assert program[1].op is Opcode.FNEG
+    assert program[2].op is Opcode.ITOF and program[2].rs1 == 1
+    assert program[3].op is Opcode.FTOI and program[3].rd == 2
+
+
+def test_immediates_decimal_hex_negative():
+    program = assemble("addi r1, r0, 42\naddi r2, r0, -7\nandi r3, r1, 0xff\nhalt")
+    assert program[0].imm == 42
+    assert program[1].imm == -7
+    assert program[2].imm == 0xFF
+
+
+def test_memory_operands():
+    program = assemble("ld r1, 16(r2)\nst r3, -8(r4)\nfld f1, 0(r5)\nfst f2, 8(r6)\nhalt")
+    ld, st, fld, fst = program.instructions[:4]
+    assert (ld.op, ld.rd, ld.rs1, ld.imm) == (Opcode.LD, 1, 2, 16)
+    assert (st.op, st.rs2, st.rs1, st.imm) == (Opcode.ST, 3, 4, -8)
+    assert fld.op is Opcode.FLD and fld.rd == 33
+    assert fst.op is Opcode.FST and fst.rs2 == 34
+
+
+def test_labels_resolve_forward_and_backward():
+    program = assemble(
+        """
+        start: beq r0, r0, end
+        middle: j start
+        end: halt
+        """
+    )
+    assert program[0].target == 2
+    assert program[1].target == 0
+    assert program.labels == {"start": 0, "middle": 1, "end": 2}
+
+
+def test_data_words_and_labels():
+    program = assemble(
+        """
+        .data
+        a: .word 10 20 30
+        b: .word 2.5
+        .text
+        li r1, a
+        li r2, b
+        halt
+        """
+    )
+    assert program.data[DATA_BASE] == 10
+    assert program.data[DATA_BASE + 2 * WORD_SIZE] == 30
+    assert program.data[DATA_BASE + 3 * WORD_SIZE] == 2.5
+    assert program[0].imm == DATA_BASE
+    assert program[1].imm == DATA_BASE + 3 * WORD_SIZE
+
+
+def test_space_reserves_zeroed_words():
+    program = assemble(".data\nbuf: .space 4\n.text\nhalt")
+    for k in range(4):
+        assert program.data[DATA_BASE + k * WORD_SIZE] == 0
+
+
+def test_comments_and_blank_lines():
+    program = assemble(
+        """
+        ; full line comment
+        add r1, r2, r3   # trailing comment
+        # another
+        halt
+        """
+    )
+    assert len(program) == 2
+
+
+def test_jal_and_jr():
+    program = assemble(
+        """
+        jal r31, target
+        halt
+        target: jr r31
+        """
+    )
+    assert program[0].op is Opcode.JAL and program[0].target == 2
+    assert program[2].op is Opcode.JR and program[2].rs1 == 31
+
+
+def test_multiple_labels_on_one_line():
+    program = assemble("a: b: halt")
+    assert program.labels == {"a": 0, "b": 0}
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "bork r1, r2, r3",  # unknown mnemonic
+        "add r1, r2",  # wrong arity
+        "ld r1, r2",  # malformed memory operand
+        "beq r1, r2, nowhere\nhalt",  # undefined label
+        "addi r1, r0, twelve",  # bad immediate
+        "add q1, r2, r3",  # bad register
+        "x: x: halt",  # duplicate label
+        ".data\n.word abc\n.text\nhalt",  # bad data word
+        ".data\n.space x\n.text\nhalt",  # bad space count
+        ".data\n.blob 1\n.text\nhalt",  # unknown directive
+    ],
+)
+def test_errors_raise_assembler_error(bad):
+    with pytest.raises(AssemblerError):
+        assemble(bad)
+
+
+def test_error_carries_line_number():
+    try:
+        assemble("nop\nnop\nbork r1")
+    except AssemblerError as exc:
+        assert "line 3" in str(exc)
+    else:  # pragma: no cover
+        raise AssertionError("expected AssemblerError")
+
+
+def test_data_label_usable_as_load_offset():
+    program = assemble(
+        """
+        .data
+        v: .word 99
+        .text
+        ld r1, v(r0)
+        halt
+        """
+    )
+    assert program[0].imm == DATA_BASE

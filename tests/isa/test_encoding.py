@@ -1,0 +1,128 @@
+"""Machine-code encoding round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Opcode, assemble
+from repro.isa.encoding import (
+    EncodingError,
+    WIDE_OPS,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.opcodes import BRANCH_OPS
+from repro.isa.registers import NO_REG
+
+
+def roundtrip(ins: Instruction) -> Instruction:
+    words_bytes = encode_program([ins])
+    out = decode_program(words_bytes)
+    assert len(out) == 1
+    return out[0]
+
+
+def equivalent(a: Instruction, b: Instruction) -> bool:
+    return (
+        a.op is b.op
+        and a.rd == b.rd
+        and a.rs1 == b.rs1
+        and a.rs2 == b.rs2
+        and a.imm == b.imm
+        and a.target == b.target
+    )
+
+
+def test_narrow_instruction_is_one_word():
+    assert len(encode_instruction(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))) == 1
+
+
+def test_wide_instruction_is_two_words():
+    assert len(encode_instruction(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5))) == 2
+
+
+def test_roundtrip_examples():
+    cases = [
+        Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+        Instruction(Opcode.FMUL, rd=33, rs1=40, rs2=63 - 1),
+        Instruction(Opcode.ADDI, rd=5, rs1=5, imm=-8),
+        Instruction(Opcode.LI, rd=9, imm=0x7FFFFFFF),
+        Instruction(Opcode.LD, rd=4, rs1=6, imm=4096),
+        Instruction(Opcode.ST, rs2=4, rs1=6, imm=-16),
+        Instruction(Opcode.BEQ, rs1=1, rs2=2, target=77),
+        Instruction(Opcode.J, target=0),
+        Instruction(Opcode.JR, rs1=31),
+        Instruction(Opcode.HALT),
+        Instruction(Opcode.NOP),
+    ]
+    for ins in cases:
+        assert equivalent(ins, roundtrip(ins)), str(ins)
+
+
+def test_roundtrip_whole_assembled_program():
+    program = assemble(
+        """
+        .data
+        a: .word 1 2 3
+        .text
+            li r1, a
+            li r4, 0
+        loop:
+            ld r2, 0(r1)
+            add r3, r3, r2
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r5, r4, 3
+            bne r5, r0, loop
+            halt
+        """
+    )
+    decoded = decode_program(encode_program(program.instructions))
+    assert len(decoded) == len(program)
+    for a, b in zip(program.instructions, decoded):
+        assert equivalent(a, b)
+
+
+def test_out_of_range_immediate_rejected():
+    with pytest.raises(EncodingError):
+        encode_instruction(Instruction(Opcode.LI, rd=1, imm=1 << 40))
+
+
+def test_truncated_stream_rejected():
+    blob = encode_program([Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5)])
+    with pytest.raises(EncodingError):
+        decode_program(blob[:4])  # immediate word chopped off
+
+
+def test_misaligned_blob_rejected():
+    with pytest.raises(EncodingError):
+        decode_program(b"\x00\x01\x02")
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode_instruction([0x3F << 26], 0)
+
+
+_regs = st.integers(0, 62)
+_opt_reg = st.one_of(st.just(NO_REG), _regs)
+_imm = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+@given(
+    st.sampled_from(sorted(Opcode, key=int)),
+    _opt_reg,
+    _opt_reg,
+    _opt_reg,
+    _imm,
+    st.integers(0, 1 << 20),
+)
+def test_roundtrip_property(op, rd, rs1, rs2, imm, target):
+    ins = Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+    if op in WIDE_OPS:
+        if op in BRANCH_OPS or op in (Opcode.J, Opcode.JAL):
+            ins.target = target
+        else:
+            ins.imm = imm
+    assert equivalent(ins, roundtrip(ins))

@@ -1,0 +1,102 @@
+"""Opcode classification and functional-unit mapping."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    CONTROL_OPS,
+    FP_DEST_OPS,
+    FP_R_OPS,
+    FP_RR_OPS,
+    FP_SRC_OPS,
+    FU_LATENCY,
+    FuClass,
+    INT_RI_OPS,
+    INT_RR_OPS,
+    JUMP_OPS,
+    LOAD_OPS,
+    MEM_OPS,
+    Opcode,
+    STORE_OPS,
+    VECTORIZABLE_ALU_OPS,
+    fu_class_of,
+)
+
+
+def test_every_opcode_has_a_fu_class():
+    for op in Opcode:
+        assert isinstance(fu_class_of(op), FuClass)
+
+
+def test_every_fu_class_has_a_latency():
+    for cls in FuClass:
+        assert FU_LATENCY[cls] >= 1
+
+
+def test_table1_latencies():
+    # Table 1 of the paper: simple int 1; int mul 2 / div 12; simple FP 2;
+    # FP mul 4 / div 14.
+    assert FU_LATENCY[FuClass.INT_SIMPLE] == 1
+    assert FU_LATENCY[FuClass.INT_MUL] == 2
+    assert FU_LATENCY[FuClass.INT_DIV] == 12
+    assert FU_LATENCY[FuClass.FP_SIMPLE] == 2
+    assert FU_LATENCY[FuClass.FP_MUL] == 4
+    assert FU_LATENCY[FuClass.FP_DIV] == 14
+
+
+def test_memory_classes():
+    assert LOAD_OPS == {Opcode.LD, Opcode.FLD}
+    assert STORE_OPS == {Opcode.ST, Opcode.FST}
+    assert MEM_OPS == LOAD_OPS | STORE_OPS
+    for op in MEM_OPS:
+        assert fu_class_of(op) is FuClass.MEM
+
+
+def test_control_classes():
+    assert BRANCH_OPS <= CONTROL_OPS
+    assert JUMP_OPS <= CONTROL_OPS
+    assert not BRANCH_OPS & JUMP_OPS
+    for op in CONTROL_OPS:
+        assert fu_class_of(op) is FuClass.INT_SIMPLE
+
+
+def test_int_and_fp_sets_disjoint():
+    assert not INT_RR_OPS & FP_RR_OPS
+    assert not INT_RI_OPS & FP_R_OPS
+    assert not (INT_RR_OPS | INT_RI_OPS) & FP_DEST_OPS
+
+
+def test_mul_div_fu_classes():
+    assert fu_class_of(Opcode.MUL) is FuClass.INT_MUL
+    assert fu_class_of(Opcode.DIV) is FuClass.INT_DIV
+    assert fu_class_of(Opcode.REM) is FuClass.INT_DIV
+    assert fu_class_of(Opcode.FMUL) is FuClass.FP_MUL
+    assert fu_class_of(Opcode.FDIV) is FuClass.FP_DIV
+    assert fu_class_of(Opcode.FSQRT) is FuClass.FP_DIV
+
+
+def test_nop_and_halt_use_no_unit():
+    assert fu_class_of(Opcode.NOP) is FuClass.NONE
+    assert fu_class_of(Opcode.HALT) is FuClass.NONE
+
+
+def test_vectorizable_set_excludes_control_memory_and_li():
+    assert not VECTORIZABLE_ALU_OPS & MEM_OPS
+    assert not VECTORIZABLE_ALU_OPS & CONTROL_OPS
+    assert Opcode.LI not in VECTORIZABLE_ALU_OPS
+    # but plain arithmetic is in.
+    assert Opcode.ADD in VECTORIZABLE_ALU_OPS
+    assert Opcode.FMUL in VECTORIZABLE_ALU_OPS
+    assert Opcode.ADDI in VECTORIZABLE_ALU_OPS
+    assert Opcode.ITOF in VECTORIZABLE_ALU_OPS
+
+
+def test_fp_source_classification():
+    assert Opcode.FST in FP_SRC_OPS
+    assert Opcode.FTOI in FP_SRC_OPS
+    assert Opcode.LD not in FP_SRC_OPS
+
+
+@pytest.mark.parametrize("op", list(Opcode))
+def test_opcode_values_unique_and_stable(op):
+    assert Opcode(op.value) is op

@@ -1,0 +1,82 @@
+"""Program container: finalization, backward-branch detection, listing."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, Program, ProgramError
+from repro.isa.program import INSTR_BYTES, WORD_SIZE
+
+
+def _branch(label=None, target=-1):
+    return Instruction(Opcode.BEQ, rs1=0, rs2=0, label=label, target=target)
+
+
+def test_label_resolution():
+    program = Program(
+        [_branch(label="end"), Instruction(Opcode.NOP), Instruction(Opcode.HALT)],
+        labels={"end": 2},
+    )
+    assert program[0].target == 2
+
+
+def test_undefined_label_raises():
+    with pytest.raises(ProgramError):
+        Program([_branch(label="missing"), Instruction(Opcode.HALT)])
+
+
+def test_out_of_range_target_raises():
+    with pytest.raises(ProgramError):
+        Program([_branch(target=99), Instruction(Opcode.HALT)])
+
+
+def test_bad_entry_raises():
+    with pytest.raises(ProgramError):
+        Program([Instruction(Opcode.HALT)], entry=5)
+
+
+def test_misaligned_data_raises():
+    with pytest.raises(ProgramError):
+        Program([Instruction(Opcode.HALT)], data={WORD_SIZE + 1: 5})
+
+
+def test_is_backward():
+    program = Program(
+        [
+            Instruction(Opcode.NOP),
+            _branch(target=0),  # backward
+            _branch(target=3),  # forward
+            Instruction(Opcode.HALT),
+        ]
+    )
+    assert program.is_backward(1)
+    assert not program.is_backward(2)
+    assert not program.is_backward(0)  # not a control instruction
+
+
+def test_self_branch_counts_as_backward():
+    program = Program([_branch(target=0), Instruction(Opcode.HALT)])
+    assert program.is_backward(0)
+
+
+def test_jr_never_classified_backward():
+    program = Program([Instruction(Opcode.JR, rs1=1), Instruction(Opcode.HALT)])
+    assert not program.is_backward(0)
+
+
+def test_listing_includes_labels_and_indices():
+    program = Program(
+        [Instruction(Opcode.NOP), Instruction(Opcode.HALT)], labels={"go": 1}
+    )
+    text = program.listing()
+    assert "go:" in text
+    assert "halt" in text
+    assert "0" in text
+
+
+def test_len_and_getitem():
+    program = Program([Instruction(Opcode.NOP), Instruction(Opcode.HALT)])
+    assert len(program) == 2
+    assert program[1].op is Opcode.HALT
+
+
+def test_instr_bytes_constant():
+    assert INSTR_BYTES == 4

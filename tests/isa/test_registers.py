@@ -1,0 +1,77 @@
+"""Register encoding and parsing."""
+
+import pytest
+
+from repro.isa.registers import (
+    FP_BASE,
+    NO_REG,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_LOGICAL_REGS,
+    ZERO_REG,
+    fp_reg,
+    int_reg,
+    is_fp,
+    parse_reg,
+    reg_name,
+)
+
+
+def test_namespace_sizes():
+    assert NUM_LOGICAL_REGS == NUM_INT_REGS + NUM_FP_REGS == 64
+    assert FP_BASE == NUM_INT_REGS
+
+
+def test_int_encoding_roundtrip():
+    for i in range(NUM_INT_REGS):
+        assert int_reg(i) == i
+        assert reg_name(i) == f"r{i}"
+        assert parse_reg(f"r{i}") == i
+        assert not is_fp(i)
+
+
+def test_fp_encoding_roundtrip():
+    for i in range(NUM_FP_REGS):
+        encoded = fp_reg(i)
+        assert encoded == FP_BASE + i
+        assert reg_name(encoded) == f"f{i}"
+        assert parse_reg(f"f{i}") == encoded
+        assert is_fp(encoded)
+
+
+def test_zero_register_is_r0():
+    assert ZERO_REG == int_reg(0)
+
+
+def test_no_reg_renders_as_dash():
+    assert reg_name(NO_REG) == "-"
+
+
+@pytest.mark.parametrize("bad", [-1, 32, 1000])
+def test_int_reg_bounds(bad):
+    with pytest.raises(ValueError):
+        int_reg(bad)
+
+
+@pytest.mark.parametrize("bad", [-1, 32])
+def test_fp_reg_bounds(bad):
+    with pytest.raises(ValueError):
+        fp_reg(bad)
+
+
+@pytest.mark.parametrize("bad", ["x1", "r", "f", "r32", "f99", "", "r1.5", "R 3x"])
+def test_parse_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_reg(bad)
+
+
+def test_parse_is_case_insensitive_and_strips():
+    assert parse_reg(" R7 ") == 7
+    assert parse_reg("F3") == FP_BASE + 3
+
+
+def test_reg_name_bounds():
+    with pytest.raises(ValueError):
+        reg_name(NUM_LOGICAL_REGS)
+    with pytest.raises(ValueError):
+        reg_name(-2)

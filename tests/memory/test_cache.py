@@ -1,0 +1,97 @@
+"""Set-associative cache contents model."""
+
+import pytest
+
+from repro.memory import Cache
+
+
+def make_tiny(assoc=2, line=32, sets=2):
+    return Cache(size_bytes=assoc * line * sets, assoc=assoc, line_bytes=line)
+
+
+def test_geometry():
+    cache = Cache(64 * 1024, 2, 32)
+    assert cache.num_sets == 1024
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache(100, 3, 32)
+
+
+def test_miss_then_hit_after_fill():
+    cache = make_tiny()
+    assert not cache.access(0)
+    cache.fill(0)
+    assert cache.access(0)
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_line_granularity():
+    cache = make_tiny(line=32)
+    cache.fill(0)
+    assert cache.access(24)  # same 32-byte line
+    assert not cache.access(32)  # next line
+
+
+def test_lru_eviction():
+    cache = make_tiny(assoc=2, sets=1, line=32)
+    cache.fill(0)
+    cache.fill(32)
+    cache.access(0)  # make line 0 MRU
+    cache.fill(64)  # evicts line 32 (LRU)
+    assert cache.probe(0)
+    assert not cache.probe(32)
+    assert cache.probe(64)
+
+
+def test_dirty_eviction_counts_writeback_and_returns_victim():
+    cache = make_tiny(assoc=1, sets=1)
+    cache.fill(0, dirty=True)
+    victim = cache.fill(32)
+    assert victim == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_returns_none():
+    cache = make_tiny(assoc=1, sets=1)
+    cache.fill(0, dirty=False)
+    assert cache.fill(32) is None
+    assert cache.stats.writebacks == 0
+
+
+def test_write_access_sets_dirty():
+    cache = make_tiny(assoc=1, sets=1)
+    cache.fill(0)
+    cache.access(0, is_write=True)
+    assert cache.fill(32) == 0  # dirty victim
+
+
+def test_sets_are_independent():
+    cache = make_tiny(assoc=1, sets=2, line=32)
+    cache.fill(0)  # set 0
+    cache.fill(32)  # set 1
+    assert cache.probe(0) and cache.probe(32)
+
+
+def test_invalidate_all():
+    cache = make_tiny()
+    cache.fill(0)
+    cache.invalidate_all()
+    assert not cache.probe(0)
+
+
+def test_miss_rate():
+    cache = make_tiny()
+    cache.access(0)
+    cache.fill(0)
+    cache.access(0)
+    assert cache.stats.miss_rate == 0.5
+
+
+def test_refill_same_line_does_not_evict():
+    cache = make_tiny(assoc=2, sets=1)
+    cache.fill(0)
+    cache.fill(32)
+    cache.fill(0)  # already present
+    assert cache.probe(32)

@@ -1,0 +1,77 @@
+"""L1/L2/memory latency chain and MSHR behaviour."""
+
+from repro.memory import HierarchyConfig, MemoryHierarchy
+
+
+def test_l1_hit_latency():
+    h = MemoryHierarchy()
+    h.data_access(0, now=0)  # cold fill
+    ready = h.data_access(0, now=100)
+    assert ready == 101  # Table 1: 1-cycle L1 hit
+
+
+def test_l1_miss_l2_hit_latency():
+    h = MemoryHierarchy()
+    h.data_access(0, now=0)  # fills L1 and L2
+    # Evict line 0 from L1 only: L1D is 2-way 1024 sets; two more lines in
+    # the same set push it out.
+    set_stride = 32 * 1024  # line_bytes * num_sets
+    h.data_access(set_stride, now=50)
+    h.data_access(2 * set_stride, now=60)
+    ready = h.data_access(0, now=200)
+    assert ready == 200 + 1 + 6  # L1 hit time + L2 hit time
+
+
+def test_cold_miss_goes_to_memory():
+    h = MemoryHierarchy()
+    ready = h.data_access(0, now=0)
+    assert ready == 0 + 1 + 6 + 18  # L1 + L2 + memory (Table 1)
+
+
+def test_mshr_merges_same_line():
+    h = MemoryHierarchy()
+    first = h.data_access(0, now=0)
+    second = h.data_access(8, now=1)  # same 32B line, still in flight
+    assert second == first
+    assert h.outstanding_misses(1) == 1
+
+
+def test_mshr_limit_returns_none():
+    config = HierarchyConfig(max_outstanding_misses=2)
+    h = MemoryHierarchy(config)
+    assert h.data_access(0, now=0) is not None
+    assert h.data_access(64, now=0) is not None
+    assert h.data_access(128, now=0) is None  # all MSHRs busy
+    # After the fills complete, new misses are accepted again.
+    assert h.data_access(128, now=100) is not None
+
+
+def test_mshr_reaping():
+    h = MemoryHierarchy()
+    h.data_access(0, now=0)
+    assert h.outstanding_misses(0) == 1
+    assert h.outstanding_misses(1000) == 0
+
+
+def test_inst_access_hit_and_miss():
+    h = MemoryHierarchy()
+    cold = h.inst_access(0, now=0)
+    assert cold == 6  # I-cache miss
+    warm = h.inst_access(0, now=10)
+    assert warm == 11  # hit
+
+
+def test_write_allocates_dirty():
+    h = MemoryHierarchy()
+    h.data_access(0, now=0, is_write=True)
+    assert h.l1d.probe(0)
+    # A second write hits.
+    assert h.data_access(0, now=100, is_write=True) == 101
+
+
+def test_stats_accumulate():
+    h = MemoryHierarchy()
+    h.data_access(0, now=0)
+    h.data_access(0, now=100)
+    assert h.l1d.stats.hits == 1
+    assert h.l1d.stats.misses == 1

@@ -1,0 +1,112 @@
+"""Port arbitration, occupancy and Fig-13 usefulness accounting."""
+
+import pytest
+
+from repro.memory import DataPorts, WORDS_PER_LINE
+
+
+def test_words_per_line_matches_paper():
+    assert WORDS_PER_LINE == 4  # 32-byte lines of 8-byte words
+
+
+def test_arbitration():
+    ports = DataPorts(2, wide=True)
+    ports.begin_cycle()
+    assert ports.available() == 2
+    ports.take()
+    assert ports.available() == 1
+    ports.take()
+    assert ports.available() == 0
+    with pytest.raises(RuntimeError):
+        ports.take()
+
+
+def test_ports_free_each_cycle():
+    ports = DataPorts(1, wide=False)
+    ports.begin_cycle()
+    ports.take()
+    ports.begin_cycle()
+    assert ports.available() == 1
+
+
+def test_occupancy():
+    ports = DataPorts(2, wide=True)
+    for _ in range(4):
+        ports.begin_cycle()
+        ports.take()
+    assert ports.occupancy == pytest.approx(0.5)
+
+
+def test_zero_ports_rejected():
+    with pytest.raises(ValueError):
+        DataPorts(0, wide=False)
+
+
+def test_usefulness_scalar_words():
+    ports = DataPorts(1, wide=True)
+    ports.begin_cycle()
+    txn = ports.open_read()
+    ports.add_useful(txn, 3)
+    hist = ports.usefulness_histogram()
+    assert hist["3"] == 1.0
+
+
+def test_usefulness_unused_speculative():
+    ports = DataPorts(1, wide=True)
+    ports.begin_cycle()
+    txn = ports.open_read()
+    ports.add_speculative(txn, 2)
+    hist = ports.usefulness_histogram()
+    assert hist["unused"] == 1.0
+
+
+def test_element_validation_migrates_words():
+    ports = DataPorts(1, wide=True)
+    txn = ports.open_read()
+    ports.add_speculative(txn, 2)
+    ports.element_validated(txn)
+    hist = ports.usefulness_histogram()
+    assert hist["1"] == 1.0  # one word became useful
+    ports.element_validated(txn)
+    assert ports.usefulness_histogram()["2"] == 1.0
+
+
+def test_extra_validations_are_capped():
+    ports = DataPorts(1, wide=True)
+    txn = ports.open_read()
+    ports.add_speculative(txn, 1)
+    ports.element_validated(txn)
+    ports.element_validated(txn)  # no speculative words left
+    assert ports.usefulness_histogram()["1"] == 1.0
+
+
+def test_word_count_capped_at_line_size():
+    ports = DataPorts(1, wide=True)
+    txn = ports.open_read()
+    ports.add_useful(txn, 3)
+    ports.add_speculative(txn, 3)  # 6 > 4: clamp
+    hist = ports.usefulness_histogram()
+    assert hist["3"] == 1.0  # useful words kept, speculative clamped
+
+
+def test_histogram_fractions_sum_to_one():
+    ports = DataPorts(1, wide=True)
+    for words in (1, 2, 4):
+        txn = ports.open_read()
+        ports.add_useful(txn, words)
+    txn = ports.open_read()
+    ports.add_speculative(txn, 1)
+    hist = ports.usefulness_histogram()
+    assert sum(hist.values()) == pytest.approx(1.0)
+
+
+def test_empty_histogram_is_zeroes():
+    hist = DataPorts(1, wide=True).usefulness_histogram()
+    assert all(v == 0.0 for v in hist.values())
+
+
+def test_write_transactions_counted_separately():
+    ports = DataPorts(1, wide=True)
+    ports.open_write()
+    assert ports.write_transactions == 1
+    assert ports.read_transactions == 0

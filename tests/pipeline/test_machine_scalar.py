@@ -1,0 +1,182 @@
+"""Timing model in scalar modes: bounds, contention, forwarding, recovery."""
+
+import pytest
+
+from ..conftest import asm_trace, run_timing
+
+INDEPENDENT = (
+    "\n".join(f"li r{1 + (i % 8)}, {i}" for i in range(64)) + "\nhalt"
+)
+
+CHAIN = (
+    "li r1, 0\n" + "addi r1, r1, 1\n" * 40 + "halt"
+)
+
+
+def test_everything_commits(sum_loop):
+    stats = run_timing(sum_loop, mode="noIM")
+    assert stats.committed == len(sum_loop.entries)
+
+
+def test_independent_ops_beat_dependent_chain():
+    independent = run_timing(INDEPENDENT, mode="noIM")
+    chain = run_timing(CHAIN, mode="noIM")
+    assert independent.ipc > 1.4 * chain.ipc
+
+
+def test_dependence_chain_limits_ipc():
+    stats = run_timing(CHAIN, mode="noIM")
+    # A 1-cycle-latency chain caps IPC near 1.
+    assert stats.ipc < 1.3
+
+
+def test_wider_machine_helps_independent_code():
+    narrow = run_timing(INDEPENDENT, width=4, mode="noIM")
+    wide = run_timing(INDEPENDENT, width=8, mode="noIM")
+    assert wide.cycles <= narrow.cycles
+
+
+def test_div_latency_visible():
+    fast = run_timing("li r1, 6\nli r2, 3\nadd r3, r1, r2\nhalt", mode="noIM")
+    slow = run_timing("li r1, 6\nli r2, 3\ndiv r3, r1, r2\nhalt", mode="noIM")
+    assert slow.cycles >= fast.cycles + 10  # div = 12 cycles vs add = 1
+
+
+def test_more_ports_help_load_bursts():
+    text = """
+        .data
+        a: .word 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16
+        .text
+        li r1, a
+        ld r2, 0(r1)
+        ld r3, 8(r1)
+        ld r4, 16(r1)
+        ld r5, 24(r1)
+        ld r6, 32(r1)
+        ld r7, 40(r1)
+        ld r8, 48(r1)
+        ld r9, 56(r1)
+        halt
+    """
+    one = run_timing(text, ports=1, mode="noIM")
+    four = run_timing(text, ports=4, mode="noIM")
+    assert four.cycles < one.cycles
+    assert one.read_accesses == four.read_accesses == 8
+
+
+def test_wide_bus_coalesces_same_line_loads():
+    text = """
+        .data
+        a: .word 1 2 3 4 5 6 7 8
+        .text
+        li r1, a
+        ld r2, 0(r1)
+        ld r3, 8(r1)
+        ld r4, 16(r1)
+        ld r5, 24(r1)
+        halt
+    """
+    scalar = run_timing(text, ports=1, mode="noIM")
+    wide = run_timing(text, ports=1, mode="IM")
+    assert scalar.read_accesses == 4
+    assert wide.read_accesses == 1  # one line, one transaction
+    assert wide.cycles <= scalar.cycles
+
+
+def test_store_load_forwarding():
+    # The store's data comes from a 12-cycle divide, so the store is still
+    # in flight (address known, data pending) when the load wants to issue:
+    # the load must wait and then forward, never touching memory.
+    stats = run_timing(
+        """
+        .data
+        x: .word 0
+        .text
+        li r1, x
+        li r2, 77
+        li r4, 7
+        div r2, r2, r4
+        st r2, 0(r1)
+        ld r3, 0(r1)
+        halt
+        """,
+        mode="noIM",
+    )
+    assert stats.forwarded_loads == 1
+    assert stats.read_accesses == 0  # the load never touched memory
+
+
+def test_stores_write_at_commit():
+    stats = run_timing(
+        """
+        .data
+        x: .word 0
+        .text
+        li r1, x
+        li r2, 5
+        st r2, 0(r1)
+        halt
+        """,
+        mode="noIM",
+    )
+    assert stats.write_accesses == 1
+    assert stats.committed_stores == 1
+
+
+def test_mispredicts_cost_cycles():
+    # Same instruction count, random vs constant branch direction.
+    def program(pattern):
+        return f"""
+        .data
+        d: .word {pattern}
+        .text
+            li r1, d
+            li r4, 0
+        loop:
+            ld r2, 0(r1)
+            beq r2, r0, skip
+            addi r5, r5, 1
+        skip:
+            addi r1, r1, 8
+            addi r4, r4, 1
+            slti r6, r4, 64
+            bne r6, r0, loop
+            halt
+        """
+
+    import random
+
+    rng = random.Random(3)
+    predictable = run_timing(program(" ".join("1" * 64)), mode="noIM")
+    random_pat = run_timing(
+        program(" ".join(str(rng.randrange(2)) for _ in range(64))), mode="noIM"
+    )
+    assert random_pat.branch_mispredicts > predictable.branch_mispredicts
+    assert random_pat.cycles > predictable.cycles
+
+
+def test_determinism(sum_loop):
+    a = run_timing(sum_loop, mode="IM")
+    b = run_timing(sum_loop, mode="IM")
+    assert a.cycles == b.cycles
+    assert a.read_accesses == b.read_accesses
+
+
+def test_port_occupancy_bounded(sum_loop):
+    stats = run_timing(sum_loop, ports=1, mode="noIM")
+    assert 0.0 < stats.port_occupancy <= 1.0
+
+
+def test_empty_trace():
+    trace = asm_trace("halt")
+    trace.entries.clear()
+    stats = run_timing(trace, mode="noIM")
+    assert stats.cycles == 0 and stats.committed == 0
+
+
+def test_lsq_pressure_does_not_deadlock():
+    # More loads in flight than LSQ entries.
+    body = "\n".join(f"ld r2, {8*(i%4)}(r1)" for i in range(64))
+    stats = run_timing(".data\na: .word 1 2 3 4\n.text\nli r1, a\n" + body + "\nhalt",
+                       mode="noIM")
+    assert stats.committed == 66

@@ -1,0 +1,94 @@
+"""Randomized soundness over floating-point programs.
+
+The integer generator in ``test_vectorization_soundness`` cannot catch
+bugs in the fp vector datapath (different FU pools, different value
+domain, fp-specific semantics like the total FSQRT); this generator
+drives fp streams, in-place updates and mixed int/fp address arithmetic
+through the V-mode machine with the commit-time value assertion armed.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.functional import run_program
+from repro.pipeline import make_config
+from repro.pipeline.machine import Machine
+from repro.workloads.builder import ProgramBuilder
+
+FP_OPS = ("fadd", "fsub", "fmul", "fdiv")
+
+
+@st.composite
+def fp_loop_programs(draw):
+    """Random fp stream programs: loads, fp chains, optional in-place store."""
+    b = ProgramBuilder()
+    arrays = []
+    for _ in range(draw(st.integers(1, 2))):
+        length = draw(st.integers(6, 16))
+        init = [
+            float(draw(st.integers(-40, 40))) / 4.0 for _ in range(length)
+        ]
+        arrays.append((b.array(length, init, align=4), length))
+
+    ptr = b.ireg()
+    x, acc = b.freg(), b.freg()
+    for _ in range(draw(st.integers(1, 2))):
+        base, length = draw(st.sampled_from(arrays))
+        stride = draw(st.sampled_from((0, 8, 16)))
+        iters = draw(st.integers(4, 14))
+        ops = [draw(st.sampled_from(FP_OPS)) for _ in range(draw(st.integers(1, 3)))]
+        in_place = draw(st.booleans())
+        unary = draw(st.sampled_from((None, "fneg", "fabs_", "fsqrt")))
+
+        b.li(ptr, base)
+        with b.loop(iters):
+            b.fld(x, 0, ptr)
+            for name in ops:
+                getattr(b, name)(acc, acc, x)
+            if unary:
+                getattr(b, unary)(acc, acc)
+            if in_place:
+                b.fst(acc, 0, ptr)
+            if stride:
+                b.addi(ptr, ptr, stride)
+    out = b.array(1)
+    b.fst(acc, out, 0)
+    b.release(ptr, x, acc)
+    b.halt()
+    return b.build()
+
+
+common = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@given(fp_loop_programs())
+@common
+def test_fp_v_mode_commits_everything_soundly(program):
+    trace = run_program(program, max_instructions=2500)
+    config = make_config(4, 1, "V")
+    stats = Machine(config, trace).run()
+    assert stats.committed == len(trace.entries)
+
+
+@given(fp_loop_programs())
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fp_soundness_on_wide_machine(program):
+    trace = run_program(program, max_instructions=2000)
+    stats = Machine(make_config(8, 2, "V"), trace).run()
+    assert stats.committed == len(trace.entries)
+
+
+@given(fp_loop_programs())
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_fp_final_memory_image_matches_functional(program):
+    """After a full V-mode run, the commit-time memory image must equal
+    the architectural memory of the functional execution."""
+    trace = run_program(program, max_instructions=2000)
+    machine = Machine(make_config(4, 1, "V"), trace)
+    machine.run()
+    assert machine.commit_memory == trace.final_memory

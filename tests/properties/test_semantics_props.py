@@ -1,0 +1,100 @@
+"""Property-based tests of the shared operation semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.functional.semantics import apply_alu, branch_taken, s64
+from repro.isa.opcodes import (
+    BRANCH_OPS,
+    FP_R_OPS,
+    FP_RR_OPS,
+    INT_RI_OPS,
+    INT_RR_OPS,
+    Opcode,
+)
+
+S64_MIN = -(1 << 63)
+S64_MAX = (1 << 63) - 1
+
+ints = st.integers(min_value=S64_MIN * 4, max_value=S64_MAX * 4)
+in_range = st.integers(min_value=S64_MIN, max_value=S64_MAX)
+floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+int_ops = st.sampled_from(sorted(INT_RR_OPS | INT_RI_OPS, key=int))
+fp2_ops = st.sampled_from(sorted(FP_RR_OPS, key=int))
+fp1_ops = st.sampled_from(sorted(FP_R_OPS, key=int))
+branch_ops = st.sampled_from(sorted(BRANCH_OPS, key=int))
+
+
+@given(ints)
+def test_s64_is_idempotent(value):
+    assert s64(s64(value)) == s64(value)
+
+
+@given(ints)
+def test_s64_stays_in_range(value):
+    assert S64_MIN <= s64(value) <= S64_MAX
+
+
+@given(in_range, in_range)
+def test_s64_add_is_modular(a, b):
+    assert s64(a + b) == s64(s64(a) + s64(b))
+
+
+@given(int_ops, ints, ints)
+def test_int_alu_total_and_in_range(op, a, b):
+    result = apply_alu(op, a, b)
+    assert isinstance(result, int)
+    assert S64_MIN <= result <= S64_MAX
+
+
+@given(int_ops, ints, ints)
+def test_int_alu_deterministic(op, a, b):
+    assert apply_alu(op, a, b) == apply_alu(op, a, b)
+
+
+@given(in_range, in_range.filter(lambda b: b != 0))
+def test_division_identity(a, b):
+    q = apply_alu(Opcode.DIV, a, b)
+    r = apply_alu(Opcode.REM, a, b)
+    assert s64(q * b + r) == s64(a)
+    assert abs(r) < abs(b)
+
+
+@given(fp2_ops, floats, floats)
+def test_fp_alu_total(op, a, b):
+    result = apply_alu(op, a, b)
+    assert isinstance(result, float)
+    assert result == result  # never NaN from finite inputs
+
+
+@given(fp1_ops, floats)
+def test_fp_unary_total(op, a):
+    result = apply_alu(op, a, 0)
+    assert isinstance(result, float)
+
+
+@given(floats)
+def test_fsqrt_nonnegative(a):
+    assert apply_alu(Opcode.FSQRT, a, 0) >= 0.0
+
+
+@given(branch_ops, in_range, in_range)
+def test_branch_conditions_boolean_and_consistent(op, a, b):
+    taken = branch_taken(op, a, b)
+    assert isinstance(taken, bool)
+    # BEQ/BNE and BLT/BGE are complementary pairs.
+    if op is Opcode.BEQ:
+        assert taken != branch_taken(Opcode.BNE, a, b)
+    if op is Opcode.BLT:
+        assert taken != branch_taken(Opcode.BGE, a, b)
+
+
+@given(in_range, in_range)
+def test_slt_matches_python_comparison(a, b):
+    assert apply_alu(Opcode.SLT, a, b) == (1 if a < b else 0)
+
+
+@given(in_range)
+def test_shift_by_multiple_of_64_is_identity_for_sll(a):
+    assert apply_alu(Opcode.SLL, a, 64) == s64(a)
+    assert apply_alu(Opcode.SLL, a, 128) == s64(a)

@@ -1,0 +1,158 @@
+"""ProgramBuilder DSL: structured control, register pool, data layout."""
+
+import pytest
+
+from repro.functional import run_program
+from repro.isa.program import WORD_SIZE
+from repro.isa.registers import FP_BASE
+from repro.workloads.builder import BuilderError, ProgramBuilder
+
+
+def run(builder):
+    builder.halt()
+    return run_program(builder.build())
+
+
+def test_counted_loop_runs_exact_count():
+    b = ProgramBuilder()
+    acc = b.ireg()
+    b.li(acc, 0)
+    with b.loop(7):
+        b.addi(acc, acc, 1)
+    b.st(acc, 0, 0)  # store to address 0 via r0 base
+    trace = run(b)
+    assert trace.final_memory.load(0) == 7
+
+
+def test_loop_yields_counter_values():
+    b = ProgramBuilder()
+    acc = b.ireg()
+    b.li(acc, 0)
+    with b.loop(5) as i:
+        b.add(acc, acc, i)  # 0+1+2+3+4
+    b.st(acc, 0, 0)
+    assert run(b).final_memory.load(0) == 10
+
+
+def test_loop_closes_with_backward_branch():
+    b = ProgramBuilder()
+    with b.loop(2):
+        b.nop()
+    b.halt()
+    program = b.build()
+    backward = [pc for pc in range(len(program)) if program.is_backward(pc)]
+    assert backward, "counted loop must end in a backward branch"
+
+
+def test_nested_loops():
+    b = ProgramBuilder()
+    acc = b.ireg()
+    b.li(acc, 0)
+    with b.loop(3):
+        with b.loop(4):
+            b.addi(acc, acc, 1)
+    b.st(acc, 0, 0)
+    assert run(b).final_memory.load(0) == 12
+
+
+def test_loop_count_must_be_positive():
+    b = ProgramBuilder()
+    with pytest.raises(BuilderError):
+        with b.loop(0):
+            pass
+
+
+def test_if_nonzero_and_if_zero():
+    b = ProgramBuilder()
+    flag, acc = b.ireg(), b.ireg()
+    b.li(acc, 0)
+    b.li(flag, 1)
+    with b.if_nonzero(flag):
+        b.addi(acc, acc, 10)
+    with b.if_zero(flag):
+        b.addi(acc, acc, 100)
+    b.st(acc, 0, 0)
+    assert run(b).final_memory.load(0) == 10
+
+
+def test_while_nonzero():
+    b = ProgramBuilder()
+    n, acc = b.ireg(), b.ireg()
+    b.li(n, 5)
+    b.li(acc, 0)
+    with b.while_nonzero(n):
+        b.addi(acc, acc, 2)
+        b.addi(n, n, -1)
+    b.st(acc, 0, 0)
+    assert run(b).final_memory.load(0) == 10
+
+
+def test_array_allocation_and_alignment():
+    b = ProgramBuilder()
+    a = b.array(3, [1, 2, 3])
+    c = b.array(2, align=4)
+    assert c % (4 * WORD_SIZE) == 0
+    assert b.data[a + WORD_SIZE] == 2
+    assert b.data[c] == 0
+
+
+def test_array_rejects_bad_sizes():
+    b = ProgramBuilder()
+    with pytest.raises(BuilderError):
+        b.array(0)
+    with pytest.raises(BuilderError):
+        b.array(2, [1])
+
+
+def test_register_pool_exhaustion_raises():
+    b = ProgramBuilder()
+    for _ in range(ProgramBuilder.INT_POOL_LIMIT - 1):
+        b.ireg()
+    with pytest.raises(BuilderError):
+        b.ireg()
+
+
+def test_release_recycles_registers():
+    b = ProgramBuilder()
+    r = b.ireg()
+    b.release(r)
+    assert b.ireg() == r
+
+
+def test_double_release_raises():
+    b = ProgramBuilder()
+    r = b.ireg()
+    b.release(r)
+    with pytest.raises(BuilderError):
+        b.release(r)
+
+
+def test_fp_pool_separate():
+    b = ProgramBuilder()
+    f = b.freg()
+    assert f >= FP_BASE
+    b.release(f)
+    assert b.freg() == f
+
+
+def test_scratch_context_manager():
+    b = ProgramBuilder()
+    with b.scratch_ireg() as r:
+        pass
+    assert b.ireg() == r  # returned to pool
+
+
+def test_duplicate_label_raises():
+    b = ProgramBuilder()
+    b.label("x")
+    with pytest.raises(BuilderError):
+        b.label("x")
+
+
+def test_fresh_label_place():
+    b = ProgramBuilder()
+    name = b.fresh_label()
+    b.nop()
+    b.place(name)
+    b.halt()
+    assert b.build().labels[name] == 1

@@ -1,0 +1,158 @@
+"""Kernel library: each kernel runs and has its advertised character."""
+
+import random
+
+from repro.analysis import stride_histogram
+from repro.functional import run_program
+from repro.workloads import kernels
+from repro.workloads.builder import ProgramBuilder
+
+
+def run_kernel(emit, max_instructions=100_000):
+    b = ProgramBuilder()
+    emit(b)
+    b.halt()
+    return run_program(b.build(), max_instructions=max_instructions)
+
+
+def mem_fraction(trace):
+    return sum(1 for e in trace if e.is_load or e.is_store) / len(trace)
+
+
+def test_strided_sum_runs_and_strides():
+    trace = run_kernel(lambda b: kernels.strided_sum(b, 64, 1, unroll=1))
+    assert trace.halted
+    hist = stride_histogram(trace)
+    assert hist["1"] > 0.8
+
+
+def test_strided_sum_unrolled_stride_matches_unroll():
+    trace = run_kernel(lambda b: kernels.strided_sum(b, 64, 1, unroll=4))
+    hist = stride_histogram(trace)
+    assert hist["4"] > 0.8
+
+
+def test_daxpy_computes_axpy():
+    trace = run_kernel(lambda b: kernels.daxpy(b, 8, unroll=1))
+    assert trace.halted
+    # y[i] = 3.25 * (0.5 + i) + 2*i
+    base_y = None
+    for entry in trace.entries:
+        if entry.is_store:
+            base_y = entry.addr
+            break
+    assert base_y is not None
+    assert trace.final_memory.load(base_y) == 3.25 * 0.5
+
+
+def test_stencil3_overlapping_streams():
+    trace = run_kernel(lambda b: kernels.stencil3(b, 32))
+    hist = stride_histogram(trace)
+    assert hist["1"] > 0.9  # all three loads are stride 1
+
+
+def test_pointer_chase_shuffled_has_no_dominant_stride():
+    rng = random.Random(7)
+    trace = run_kernel(lambda b: kernels.pointer_chase(b, 64, rng=rng, shuffled=True))
+    hist = stride_histogram(trace)
+    assert hist["other"] > 0.3
+
+
+def test_pointer_chase_sequential_is_secretly_strided():
+    trace = run_kernel(lambda b: kernels.pointer_chase(b, 64, shuffled=False))
+    hist = stride_histogram(trace)
+    assert hist["4"] > 0.5  # 4-word nodes laid out in order
+
+
+def test_pointer_chase_visits_all_nodes():
+    trace = run_kernel(lambda b: kernels.pointer_chase(b, 32, shuffled=True))
+    loads = [e for e in trace if e.is_load and e.imm == 8]
+    assert len(loads) == 32  # key field read once per node
+
+
+def test_table_lookup_gathers():
+    trace = run_kernel(lambda b: kernels.table_lookup(b, 64, 32))
+    assert trace.halted
+    assert mem_fraction(trace) > 0.25
+
+
+def test_local_accumulate_is_stride_zero():
+    trace = run_kernel(lambda b: kernels.local_accumulate(b, 32))
+    hist = stride_histogram(trace)
+    assert hist["0"] > 0.9
+
+
+def test_branchy_threshold_mix():
+    rng = random.Random(5)
+    trace = run_kernel(
+        lambda b: kernels.branchy_threshold(b, 64, rng=rng, taken_prob=0.5)
+    )
+    branches = [e for e in trace if e.is_branch]
+    taken = sum(1 for e in branches if e.taken)
+    assert 0.2 < taken / len(branches) < 0.9
+
+
+def test_copy_kernel_copies():
+    trace = run_kernel(lambda b: kernels.copy_kernel(b, 16, unroll=2))
+    stores = [e for e in trace if e.is_store]
+    assert len(stores) == 16
+    for st in stores:
+        assert trace.final_memory.load(st.addr) == st.value
+
+
+def test_hist_update_counts_sum_to_n():
+    rng = random.Random(9)
+    trace = run_kernel(lambda b: kernels.hist_update(b, 16, 48, rng=rng))
+    stores = [e for e in trace if e.is_store]
+    bins = {}
+    for st in stores:
+        bins[st.addr] = st.value
+    assert sum(bins.values()) == 48
+
+
+def test_matvec_runs():
+    trace = run_kernel(lambda b: kernels.matvec(b, 4, 4))
+    assert trace.halted
+    fp = sum(1 for e in trace if 21 <= e.op <= 30 or e.op in (33, 34))
+    assert fp > 0.3 * len(trace)
+
+
+def test_fp_chain_spill_bounded_values():
+    trace = run_kernel(lambda b: kernels.fp_chain_spill(b, 48, iters=20))
+    assert trace.halted
+    for value in trace.final_fp_regs:
+        assert abs(value) < 1e12  # balanced ops keep magnitudes sane
+
+
+def test_multi_stream_sum_is_stride_one_and_dense():
+    trace = run_kernel(lambda b: kernels.multi_stream_sum(b, 32, 3))
+    hist = stride_histogram(trace)
+    assert hist["1"] > 0.9
+    assert mem_fraction(trace) > 0.3
+
+
+def test_all_kernels_release_their_registers():
+    emitters = [
+        lambda b: kernels.strided_sum(b, 16, 1, unroll=1),
+        lambda b: kernels.multi_stream_sum(b, 16, 2),
+        lambda b: kernels.daxpy(b, 8),
+        lambda b: kernels.stencil3(b, 8),
+        lambda b: kernels.unrolled_fp_sweep(b, 16, 2),
+        lambda b: kernels.pointer_chase(b, 8),
+        lambda b: kernels.table_lookup(b, 16, 8),
+        lambda b: kernels.local_accumulate(b, 4),
+        lambda b: kernels.branchy_threshold(b, 8),
+        lambda b: kernels.copy_kernel(b, 8),
+        lambda b: kernels.hist_update(b, 8, 8),
+        lambda b: kernels.matvec(b, 2, 2),
+        lambda b: kernels.fp_chain_spill(b, 12),
+    ]
+    b = ProgramBuilder()
+    free_int = len(b._free_int)
+    free_fp = len(b._free_fp)
+    for emit in emitters:
+        emit(b)
+    assert len(b._free_int) == free_int
+    assert len(b._free_fp) == free_fp
+    b.halt()
+    assert run_program(b.build(), max_instructions=200_000).halted
