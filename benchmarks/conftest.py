@@ -5,8 +5,9 @@ paper's evaluation (DESIGN.md §4 maps them).  Conventions:
 
 * each bench runs its figure exactly once (``pedantic(rounds=1)``) — the
   interesting output is the *table*, the time is just bookkeeping;
-* the rendered table is appended to ``benchmarks/results/<figure>.txt``
-  and echoed to stdout (run pytest with ``-s`` to see it live);
+* the rendered table overwrites ``benchmarks/results/<figure>.txt`` (one
+  file per figure, latest run wins) and is echoed to stdout (run pytest
+  with ``-s`` to see it live);
 * ``REPRO_BENCH_SCALE`` (dynamic instructions per benchmark, default
   12000) trades fidelity for wall-clock time.
 

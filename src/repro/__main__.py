@@ -2,11 +2,15 @@
 
 Commands:
 
-* ``figures [--scale N] [--only figNN ...]`` — regenerate the paper's
-  figures and print their tables;
-* ``headline [--scale N]`` — measure the paper's headline claims;
+* ``figures [--scale N] [--only figNN ...] [--jobs J]`` — regenerate the
+  paper's figures and print their tables; the grid points behind the
+  selected figures are collected up front and fanned out over a process
+  pool (see :mod:`repro.experiments.parallel`);
+* ``headline [--scale N] [--jobs J]`` — measure the paper's headline
+  claims, same batched execution;
 * ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]`` —
   simulate one benchmark on one configuration and print the stat summary;
+* ``cache {info,clear}`` — inspect or drop the persistent result cache;
 * ``list`` — list the available benchmarks.
 """
 
@@ -16,24 +20,75 @@ import argparse
 import sys
 
 from .analysis import format_table, suite_rows
+from .experiments import diskcache
 from .experiments import figures as _figures
+from .experiments.parallel import GridReport, run_grid
 from .experiments.runner import EXPERIMENT_SCALE, run_point
 from .workloads import ALL_BENCHMARKS, SPEC_FP, SPEC_INT
 
-#: figure name -> (callable(scale) -> rows, title); fig11/12 take a width.
+#: figure name -> (callable(scale) -> rows, title, callable(scale) -> points);
+#: fig11/12 take a width, bound here.
 FIGURE_RUNNERS = {
-    "fig01": (_figures.fig01_stride_distribution, "Figure 1: stride distribution"),
-    "fig03": (_figures.fig03_vectorizable, "Figure 3: vectorizable fraction"),
-    "fig07": (_figures.fig07_scalar_blocking, "Figure 7: real vs ideal IPC"),
-    "fig09": (_figures.fig09_offsets, "Figure 9: nonzero-offset instances"),
-    "fig10": (_figures.fig10_control_independence, "Figure 10: CFI reuse"),
-    "fig11_4way": (lambda s: _figures.fig11_ipc(4, s), "Figure 11: IPC, 4-way"),
-    "fig11_8way": (lambda s: _figures.fig11_ipc(8, s), "Figure 11: IPC, 8-way"),
-    "fig12_4way": (lambda s: _figures.fig12_port_occupancy(4, s), "Figure 12: occupancy, 4-way"),
-    "fig12_8way": (lambda s: _figures.fig12_port_occupancy(8, s), "Figure 12: occupancy, 8-way"),
-    "fig13": (_figures.fig13_wide_bus, "Figure 13: wide-bus usefulness"),
-    "fig14": (_figures.fig14_validations, "Figure 14: validation fraction"),
-    "fig15": (_figures.fig15_prediction_accuracy, "Figure 15: element fates"),
+    "fig01": (
+        _figures.fig01_stride_distribution,
+        "Figure 1: stride distribution",
+        _figures.fig01_points,
+    ),
+    "fig03": (
+        _figures.fig03_vectorizable,
+        "Figure 3: vectorizable fraction",
+        _figures.fig03_points,
+    ),
+    "fig07": (
+        _figures.fig07_scalar_blocking,
+        "Figure 7: real vs ideal IPC",
+        _figures.fig07_points,
+    ),
+    "fig09": (
+        _figures.fig09_offsets,
+        "Figure 9: nonzero-offset instances",
+        _figures.fig09_points,
+    ),
+    "fig10": (
+        _figures.fig10_control_independence,
+        "Figure 10: CFI reuse",
+        _figures.fig10_points,
+    ),
+    "fig11_4way": (
+        lambda s: _figures.fig11_ipc(4, s),
+        "Figure 11: IPC, 4-way",
+        lambda s: _figures.fig11_points(4, s),
+    ),
+    "fig11_8way": (
+        lambda s: _figures.fig11_ipc(8, s),
+        "Figure 11: IPC, 8-way",
+        lambda s: _figures.fig11_points(8, s),
+    ),
+    "fig12_4way": (
+        lambda s: _figures.fig12_port_occupancy(4, s),
+        "Figure 12: occupancy, 4-way",
+        lambda s: _figures.fig12_points(4, s),
+    ),
+    "fig12_8way": (
+        lambda s: _figures.fig12_port_occupancy(8, s),
+        "Figure 12: occupancy, 8-way",
+        lambda s: _figures.fig12_points(8, s),
+    ),
+    "fig13": (
+        _figures.fig13_wide_bus,
+        "Figure 13: wide-bus usefulness",
+        _figures.fig13_points,
+    ),
+    "fig14": (
+        _figures.fig14_validations,
+        "Figure 14: validation fraction",
+        _figures.fig14_points,
+    ),
+    "fig15": (
+        _figures.fig15_prediction_accuracy,
+        "Figure 15: element fates",
+        _figures.fig15_points,
+    ),
 }
 
 
@@ -50,12 +105,25 @@ def cmd_figures(args: argparse.Namespace) -> int:
         if name not in FIGURE_RUNNERS:
             print(f"unknown figure {name!r}; known: {', '.join(FIGURE_RUNNERS)}")
             return 2
-        runner, title = FIGURE_RUNNERS[name]
+    # Collect every simulation point the selected figures need, then fan
+    # the whole batch out at once; the figure functions afterwards run
+    # entirely from the in-process memo.
+    points = []
+    for name in names:
+        points.extend(FIGURE_RUNNERS[name][2](args.scale))
+    report = GridReport()
+    run_grid(points, jobs=args.jobs, report=report)
+    print(report.summary())
+    for name in names:
+        runner, title, _points_fn = FIGURE_RUNNERS[name]
         _print_rows(title, runner(args.scale))
     return 0
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
+    report = GridReport()
+    run_grid(_figures.headline_points(args.scale), jobs=args.jobs, report=report)
+    print(report.summary())
     claims = _figures.headline_claims(args.scale)
     rows = [[key, f"{value:+.1%}"] for key, value in claims.items()]
     print(format_table(["claim", "measured"], rows))
@@ -71,10 +139,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    if args.action == "info":
+        info = diskcache.cache_info()
+        print(f"root:    {info['root']}")
+        print(f"enabled: {info['enabled']}")
+        for label, key in (("stats", "stats"), ("traces", "trace")):
+            print(
+                f"{label + ':':<9}{info[f'{key}_entries']} entries, "
+                f"{info[f'{key}_bytes']} bytes"
+            )
+    else:  # clear
+        removed = diskcache.clear_cache()
+        print(f"removed {removed} cache entries")
+    return 0
+
+
 def cmd_list(_args: argparse.Namespace) -> int:
     print("SpecInt95-like:", ", ".join(SPEC_INT))
     print("SpecFP95-like: ", ", ".join(SPEC_FP))
     return 0
+
+
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help="worker processes (default: $REPRO_JOBS or the CPU count)",
+    )
 
 
 def main(argv=None) -> int:
@@ -87,10 +181,12 @@ def main(argv=None) -> int:
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
     p.add_argument("--only", nargs="*", metavar="FIG", help="subset, e.g. fig14")
+    _add_jobs_argument(p)
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser("headline", help="measure the paper's headline claims")
     p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    _add_jobs_argument(p)
     p.set_defaults(fn=cmd_headline)
 
     p = sub.add_parser("run", help="simulate one benchmark/configuration")
@@ -100,6 +196,10 @@ def main(argv=None) -> int:
     p.add_argument("--mode", default="V", choices=("noIM", "IM", "V"))
     p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    p.add_argument("action", choices=("info", "clear"))
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("list", help="list the benchmark suite")
     p.set_defaults(fn=cmd_list)

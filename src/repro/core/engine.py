@@ -52,6 +52,9 @@ from .vrmt import VRMT, VRMTEntry
 
 Number = Union[int, float]
 
+#: sentinel distinguishing "no scalar source seen" from a captured None.
+_NO_SCALAR = object()
+
 
 class MisspeculationError(AssertionError):
     """A committed validation disagreed with the architectural value —
@@ -66,7 +69,7 @@ class DecodeKind(enum.Enum):
     TRIGGER = "trigger"  # created a vector instance; commits its start element
 
 
-@dataclass
+@dataclass(slots=True)
 class Decision:
     """Decode-time outcome for one dynamic instruction."""
 
@@ -81,6 +84,12 @@ class Decision:
     #: VRMT rollback data for squashes: (pc, snapshot-or-None), or None when
     #: the decision did not touch the VRMT.
     vrmt_rollback: Optional[Tuple[int, Optional[VRMTEntry]]] = None
+
+
+#: Shared plain-scalar decision for the hottest decode outcome (no VRMT
+#: state touched, nothing to roll back).  Decode paths that later attach a
+#: ``vrmt_rollback`` must construct a fresh instance instead.
+_SCALAR_DECISION = Decision(DecodeKind.SCALAR)
 
 
 
@@ -112,10 +121,16 @@ class VectorAluInstance:
     last_issue: int = -1
     #: index of the vector FU this instance occupies (set lazily).
     fu_unit: Optional[int] = None
+    #: FU class / latency for ``op``, fixed per instance (set once here so
+    #: the per-cycle scheduler skips the per-call table lookups).
+    fu_class: object = None
+    latency: int = 0
 
     def __post_init__(self) -> None:
         if self.next_elem < 0:
             self.next_elem = self.start
+        self.fu_class = fu_class_of(self.op)
+        self.latency = FU_LATENCY[self.fu_class]
 
     @property
     def done(self) -> bool:
@@ -159,6 +174,10 @@ class VectorizationEngine:
         self.vec_fu_free = {
             cls: [0] * count for cls, count in config.fu_pool_sizes().items()
         }
+        # Hoisted configuration scalars (read in per-cycle/per-commit paths).
+        self._cancel_dead = vc.cancel_dead_fetches
+        self._fetch_ahead = vc.fetch_ahead
+        self._check_invariants = config.check_invariants
 
     # ------------------------------------------------------------------
     # Decode-time decisions
@@ -183,7 +202,7 @@ class VectorizationEngine:
             return self._load_validation(pc, addr, mapping, now)
         if vectorizable and stride is not None:
             return self._new_load_instance(pc, addr, stride, now, chained=False)
-        return Decision(DecodeKind.SCALAR)
+        return _SCALAR_DECISION
 
     def _load_validation(self, pc: int, addr: int, mapping: VRMTEntry, now: int) -> Decision:
         """VRMT hit for a load: validate the next element (chaining at VL)."""
@@ -239,7 +258,7 @@ class VectorizationEngine:
             self._sweep_frees(now)
             return Decision(DecodeKind.SCALAR)
         reg.set_load_addresses(base_addr, stride)
-        ahead = self.config.vector.fetch_ahead
+        ahead = self._fetch_ahead
         self._enqueue_load_fetches(reg, self.vl - 1 if ahead <= 0 else ahead)
         self.vrmt.insert(pc, VRMTEntry(reg, offset=1))
         reg.u_flag[0] = True
@@ -272,12 +291,24 @@ class VectorizationEngine:
         ``("imm", value)``.
         """
         pc = entry.pc
-        any_vector = any(d[0] == "V" for d in src_descs)
+        # Single pass over the descriptors replaces the old
+        # any(...) + _mixed_scalar_value() pair (decode hot path).
+        any_vector = False
+        scalar_value = first_scalar = _NO_SCALAR
+        for d in src_descs:
+            tag = d[0]
+            if tag == "V":
+                any_vector = True
+            elif tag == "S" and first_scalar is _NO_SCALAR:
+                first_scalar = d[2]
         mapping = self.vrmt.lookup(pc)
         if mapping is None and not any_vector:
-            return Decision(DecodeKind.SCALAR)
+            return _SCALAR_DECISION
 
-        scalar_value = self._mixed_scalar_value(src_descs)
+        # §3.2's captured scalar value: only mixed instances record one.
+        scalar_value = (
+            first_scalar if any_vector and first_scalar is not _NO_SCALAR else None
+        )
 
         if mapping is not None:
             snapshot = mapping.snapshot()
@@ -426,7 +457,7 @@ class VectorizationEngine:
         whose sources now have known compute times (called once per cycle)."""
         if not self.pending_alu:
             return
-        cancel_dead = self.config.vector.cancel_dead_fetches
+        cancel_dead = self._cancel_dead
         remaining = []
         for inst in self.pending_alu:
             dest = inst.dest
@@ -448,30 +479,45 @@ class VectorizationEngine:
         self.pending_alu = remaining
 
     def _schedule_alu_elements(self, inst: VectorAluInstance, now: int) -> None:
-        """Schedule ready elements of one ALU instance onto its vector FU."""
+        """Schedule ready elements of one ALU instance onto its vector FU.
+
+        The readiness check (``src_elem_known``) and the operand gather are
+        merged into one pass over the sources: a live source element with
+        no compute time yet stops the instance for this cycle; defunct /
+        freed / abandoned sources count as known — their values are
+        garbage, but consumers of garbage are squashed before commit."""
         dest = inst.dest
-        fu_class = fu_class_of(inst.op)
-        latency = FU_LATENCY[fu_class]
-        pool = self.vec_fu_free[fu_class]
-        while not inst.done and inst.src_elem_known(inst.next_elem):
+        latency = inst.latency
+        start = inst.start
+        srcs = inst.srcs
+        dest_length = dest.length
+        pool = self.vec_fu_free[inst.fu_class]
+        while inst.next_elem < dest_length:
             k = inst.next_elem
+            operands: List[Number] = []
+            src_ready = 0
+            blocked = False
+            for desc in srcs:
+                if desc[0] == "V":
+                    reg, base = desc[1], desc[2]
+                    idx = k - start + base
+                    rt = reg.r_time[idx]
+                    if rt is None:
+                        if not (reg.defunct or reg.freed or reg.abandoned):
+                            blocked = True
+                            break
+                    elif rt > src_ready:
+                        src_ready = rt
+                    operands.append(reg.values[idx])
+                else:
+                    operands.append(desc[1])
+            if blocked:
+                break
             if inst.pipe_start is None:
                 unit = min(range(len(pool)), key=pool.__getitem__)
                 inst.pipe_start = max(now, pool[unit], inst.alloc_cycle + 1)
                 inst.last_issue = inst.pipe_start - 1
                 inst.fu_unit = unit
-            operands: List[Number] = []
-            src_ready = 0
-            for desc in inst.srcs:
-                if desc[0] == "V":
-                    reg, base = desc[1], desc[2]
-                    idx = k - inst.start + base
-                    operands.append(reg.values[idx])
-                    rt = reg.r_time[idx]
-                    if rt is not None:
-                        src_ready = max(src_ready, rt)
-                else:
-                    operands.append(desc[1])
             issue = max(inst.last_issue + 1, inst.pipe_start, src_ready)
             inst.last_issue = issue
             pool[inst.fu_unit] = max(pool[inst.fu_unit], issue + 1)
@@ -488,7 +534,7 @@ class VectorizationEngine:
         defunct) are completed in place with garbage so dependents'
         timing can resolve; they consume no port.
         """
-        cancel_dead = self.config.vector.cancel_dead_fetches
+        cancel_dead = self._cancel_dead
         out: List[Tuple[VectorRegister, int, int]] = []
         while self.pending_fetches and len(out) < limit:
             reg, elem, addr = self.pending_fetches.popleft()
@@ -575,7 +621,7 @@ class VectorizationEngine:
         """A validation (or trigger) reached commit: element becomes Valid."""
         reg: VectorRegister = fl.vreg
         k = fl.velem
-        if self.config.check_invariants:
+        if self._check_invariants:
             expected = fl.entry.value
             got = reg.values[k]
             if got != expected and not (
@@ -595,7 +641,7 @@ class VectorizationEngine:
             txn = reg.txn_ids[k]
             if txn is not None:
                 ports.element_validated(txn)
-            ahead = self.config.vector.fetch_ahead
+            ahead = self._fetch_ahead
             if ahead > 0:
                 self._enqueue_load_fetches(reg, k + ahead)
             if k == reg.length - 1:
@@ -672,8 +718,31 @@ class VectorizationEngine:
         self._maybe_free(reg, now)
 
     def _maybe_free(self, reg: VectorRegister, now: int) -> None:
-        if reg.freed or not reg.should_free(now, self.gmrbb):
+        # Inlined reg.should_free(now, gmrbb): this runs on every commit-
+        # side event and the overwhelmingly common outcome is "not yet",
+        # so the §3.3 release rules are evaluated with plain loops here
+        # (no generator frames) and early returns.
+        if reg.freed or any(reg.u_flag):
             return
+        if not reg.defunct:
+            r_time = reg.r_time
+            if reg.abandoned:
+                for t in r_time:
+                    if t is not None and t > now:
+                        return
+            else:
+                for t in r_time:
+                    if t is None or t > now:
+                        return
+            f_flag = reg.f_flag
+            if not all(f_flag):
+                # Rule 1 failed; rule 2 needs a terminated loop and every
+                # validated element freed.
+                if reg.mrbb == self.gmrbb:
+                    return
+                for v, f in zip(reg.v_flag, f_flag):
+                    if v and not f:
+                        return
         used, unused, not_computed = reg.element_fates(now)
         self.stats.elements_computed_used += used
         self.stats.elements_computed_unused += unused
@@ -682,7 +751,7 @@ class VectorizationEngine:
         self.vrf.free(reg)
 
     def _sweep_frees(self, now: int) -> None:
-        throttled = self.config.vector.fetch_ahead > 0
+        throttled = self._fetch_ahead > 0
         for reg in self.vrf.live_registers():
             if (
                 throttled

@@ -31,7 +31,7 @@ class SetAssocTable(Generic[T]):
 
     def lookup(self, pc: int) -> Optional[T]:
         """Return the payload for ``pc`` (refreshing LRU), or None."""
-        bucket = self._set_of(pc)
+        bucket = self._sets[pc % self.sets]
         for i, (key, payload) in enumerate(bucket):
             if key == pc:
                 if i:
@@ -41,7 +41,7 @@ class SetAssocTable(Generic[T]):
 
     def peek(self, pc: int) -> Optional[T]:
         """Like :meth:`lookup` but without touching LRU state."""
-        for key, payload in self._set_of(pc):
+        for key, payload in self._sets[pc % self.sets]:
             if key == pc:
                 return payload
         return None
@@ -51,7 +51,7 @@ class SetAssocTable(Generic[T]):
 
         Replaces an existing entry for the same PC without eviction.
         """
-        bucket = self._set_of(pc)
+        bucket = self._sets[pc % self.sets]
         for i, (key, _) in enumerate(bucket):
             if key == pc:
                 bucket.pop(i)
@@ -66,7 +66,7 @@ class SetAssocTable(Generic[T]):
 
     def invalidate(self, pc: int) -> Optional[T]:
         """Remove the entry for ``pc``; returns its payload if present."""
-        bucket = self._set_of(pc)
+        bucket = self._sets[pc % self.sets]
         for i, (key, payload) in enumerate(bucket):
             if key == pc:
                 bucket.pop(i)

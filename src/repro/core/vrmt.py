@@ -31,7 +31,7 @@ SourceDesc = Tuple
 Number = Union[int, float]
 
 
-@dataclass
+@dataclass(slots=True)
 class VRMTEntry:
     """One VRMT row (Fig 5: PC, offset, source operands, scalar value)."""
 

@@ -20,9 +20,14 @@ from .figures import (
     fig15_prediction_accuracy,
     headline_claims,
 )
+from .parallel import GridPoint, GridReport, resolve_jobs, run_grid
 from .runner import EXPERIMENT_SCALE, MODES, PORT_COUNTS, label, run_point
 
 __all__ = [
+    "GridPoint",
+    "GridReport",
+    "resolve_jobs",
+    "run_grid",
     "confidence_sweep",
     "damping_ablation",
     "speculation_throttling",

@@ -1,0 +1,339 @@
+"""Persistent on-disk cache for simulation results and functional traces.
+
+The full figure grid — 12 benchmarks x {4,8}-way x {1,2,4} ports x
+{noIM, IM, V} — is the dominant wall-clock cost of every development
+loop on a pure-Python cycle model.  The grid is also perfectly
+replayable: a (benchmark, scale, seed, machine-configuration) point plus
+the simulator sources determines its :class:`~repro.pipeline.stats.SimStats`
+bit for bit.  This module caches both layers on disk:
+
+* **stats/** — one JSON file per simulated grid point;
+* **traces/** — one serialized functional trace per (benchmark, scale,
+  seed), in the :mod:`repro.functional.traceio` format.
+
+Keying — entries self-invalidate when anything that could change the
+result changes:
+
+* benchmark name, scale and seed;
+* the resolved :class:`~repro.pipeline.config.MachineConfig` (every field,
+  including the nested hierarchy and vector configs, via ``asdict``);
+* a digest of the simulator's own source code (every ``repro`` module
+  that feeds the result: isa, functional, workloads, frontend, memory,
+  core, pipeline).  Editing the simulator orphans old entries rather than
+  serving stale results.  Trace entries hash only the trace-relevant
+  subset (isa + functional + workloads), so a timing-model edit keeps
+  functional traces warm.
+
+Location: ``$REPRO_CACHE_DIR`` if set, else ``$XDG_CACHE_HOME/repro``,
+else ``~/.cache/repro``.  Set ``REPRO_CACHE_DIR=`` (empty) or
+``REPRO_NO_DISK_CACHE=1`` to disable persistence entirely.
+
+Robustness: a corrupted or truncated cache file is treated as a miss —
+the point is re-simulated and the bad file overwritten.  Writes go
+through a temp file + :func:`os.replace` so concurrent workers (the
+process-pool grid runner) never observe half-written entries.
+
+Process-wide hit/miss/store counters feed the CLI's cache summary line
+(``python -m repro figures`` reports how many points were served from
+cache vs. simulated).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Dict, Optional
+
+from ..functional import traceio
+from ..functional.trace import Trace
+from ..pipeline.config import MachineConfig
+from ..pipeline.stats import SimStats
+
+#: bumped whenever the on-disk layout or serialization changes.
+CACHE_FORMAT = 1
+
+#: source groups hashed into cache keys.  Trace results depend only on
+#: the functional subset; stats depend on everything.
+_TRACE_SOURCE_PACKAGES = ("isa", "functional", "workloads")
+_STATS_SOURCE_PACKAGES = _TRACE_SOURCE_PACKAGES + (
+    "frontend",
+    "memory",
+    "core",
+    "pipeline",
+)
+
+
+class CacheCounters:
+    """Process-wide cache accounting (reset per CLI invocation)."""
+
+    __slots__ = ("stats_hits", "stats_misses", "stats_stores", "trace_hits", "trace_misses")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.stats_hits = 0
+        self.stats_misses = 0
+        self.stats_stores = 0
+        self.trace_hits = 0
+        self.trace_misses = 0
+
+
+COUNTERS = CacheCounters()
+
+
+# ---------------------------------------------------------------------------
+# Location
+# ---------------------------------------------------------------------------
+
+
+def cache_enabled() -> bool:
+    """False when the user disabled persistence via the environment."""
+    if os.environ.get("REPRO_NO_DISK_CACHE"):
+        return False
+    return os.environ.get("REPRO_CACHE_DIR", None) != ""
+
+
+def cache_root() -> pathlib.Path:
+    """The cache directory (not created until first write)."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return pathlib.Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / "repro"
+
+
+def _stats_dir() -> pathlib.Path:
+    return cache_root() / "stats"
+
+
+def _traces_dir() -> pathlib.Path:
+    return cache_root() / "traces"
+
+
+# ---------------------------------------------------------------------------
+# Source digests
+# ---------------------------------------------------------------------------
+
+
+def _package_files(package: str) -> list:
+    root = pathlib.Path(__file__).resolve().parent.parent / package
+    return sorted(p for p in root.glob("*.py"))
+
+
+def _digest_packages(packages) -> str:
+    h = hashlib.sha256()
+    for package in packages:
+        for path in _package_files(package):
+            h.update(path.name.encode())
+            h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+_DIGEST_MEMO: Dict[tuple, str] = {}
+
+
+def source_digest(kind: str = "stats") -> str:
+    """Digest of the simulator sources feeding ``kind`` ("stats"/"trace").
+
+    Computed once per process; editing any hashed file between processes
+    changes the digest and thereby every cache key.
+    """
+    packages = _STATS_SOURCE_PACKAGES if kind == "stats" else _TRACE_SOURCE_PACKAGES
+    memo = _DIGEST_MEMO.get(packages)
+    if memo is None:
+        memo = _DIGEST_MEMO[packages] = _digest_packages(packages)
+    return memo
+
+
+# ---------------------------------------------------------------------------
+# Keys
+# ---------------------------------------------------------------------------
+
+
+def config_fingerprint(config: MachineConfig) -> Dict:
+    """A JSON-safe rendering of every field of a resolved config."""
+    return dataclasses.asdict(config)
+
+
+def stats_key(name: str, scale: int, seed: int, config: MachineConfig) -> str:
+    """Content-hash key for one simulated grid point."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "kind": "stats",
+        "benchmark": name,
+        "scale": scale,
+        "seed": seed,
+        "config": config_fingerprint(config),
+        "source": source_digest("stats"),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def trace_key(name: str, scale: int, seed: int) -> str:
+    """Content-hash key for one functional trace."""
+    payload = {
+        "format": CACHE_FORMAT,
+        "kind": "trace",
+        "benchmark": name,
+        "scale": scale,
+        "seed": seed,
+        "source": source_digest("trace"),
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# SimStats serialization
+# ---------------------------------------------------------------------------
+
+
+def stats_to_dict(stats: SimStats) -> Dict:
+    """Counter fields only — derived metrics are recomputed properties."""
+    return dataclasses.asdict(stats)
+
+
+def stats_from_dict(payload: Dict) -> SimStats:
+    field_names = {f.name for f in dataclasses.fields(SimStats)}
+    if set(payload) != field_names:
+        raise ValueError("stats payload fields do not match SimStats")
+    return SimStats(**payload)
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# Stats entries
+# ---------------------------------------------------------------------------
+
+
+def load_stats(key: str) -> Optional[SimStats]:
+    """The cached stats for ``key``, or None on miss/corruption."""
+    if not cache_enabled():
+        return None
+    path = _stats_dir() / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        if payload.get("format") != CACHE_FORMAT:
+            raise ValueError("format mismatch")
+        stats = stats_from_dict(payload["stats"])
+    except FileNotFoundError:
+        COUNTERS.stats_misses += 1
+        return None
+    except (ValueError, KeyError, TypeError, OSError):
+        # Corrupted/truncated/foreign file: treat as a miss and drop it so
+        # the re-simulated result can take its place.
+        COUNTERS.stats_misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    COUNTERS.stats_hits += 1
+    return stats
+
+
+def store_stats(key: str, stats: SimStats, describe: Optional[Dict] = None) -> None:
+    """Persist ``stats`` under ``key`` (atomic; no-op when disabled)."""
+    if not cache_enabled():
+        return
+    payload = {"format": CACHE_FORMAT, "stats": stats_to_dict(stats)}
+    if describe:
+        payload["point"] = describe
+    _atomic_write(_stats_dir() / f"{key}.json", json.dumps(payload))
+    COUNTERS.stats_stores += 1
+
+
+# ---------------------------------------------------------------------------
+# Trace entries
+# ---------------------------------------------------------------------------
+
+
+def load_cached_trace(key: str) -> Optional[Trace]:
+    """The cached functional trace for ``key``, or None."""
+    if not cache_enabled():
+        return None
+    path = _traces_dir() / f"{key}.jsonl"
+    try:
+        with path.open() as handle:
+            trace = traceio.load_trace(handle)
+    except FileNotFoundError:
+        COUNTERS.trace_misses += 1
+        return None
+    except (traceio.TraceFormatError, ValueError, OSError):
+        COUNTERS.trace_misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    COUNTERS.trace_hits += 1
+    return trace
+
+
+def store_trace(key: str, trace: Trace) -> None:
+    """Persist a functional trace (atomic; no-op when disabled)."""
+    if not cache_enabled():
+        return
+    _atomic_write(_traces_dir() / f"{key}.jsonl", traceio.dumps_trace(trace))
+
+
+# ---------------------------------------------------------------------------
+# Maintenance (the ``python -m repro cache`` subcommand)
+# ---------------------------------------------------------------------------
+
+
+def cache_info() -> Dict:
+    """Entry counts and byte totals per layer, for ``cache info``."""
+    info = {
+        "root": str(cache_root()),
+        "enabled": cache_enabled(),
+        "stats_entries": 0,
+        "stats_bytes": 0,
+        "trace_entries": 0,
+        "trace_bytes": 0,
+    }
+    for kind, directory in (("stats", _stats_dir()), ("trace", _traces_dir())):
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            if path.suffix in (".json", ".jsonl"):
+                info[f"{kind}_entries"] += 1
+                info[f"{kind}_bytes"] += path.stat().st_size
+    return info
+
+
+def clear_cache() -> int:
+    """Delete every cache entry; returns the number of files removed."""
+    removed = 0
+    for directory in (_stats_dir(), _traces_dir()):
+        if not directory.is_dir():
+            continue
+        for path in directory.iterdir():
+            if path.suffix in (".json", ".jsonl", ".tmp"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+    return removed

@@ -6,20 +6,42 @@ Every public function regenerates the data behind one figure of the paper
 :func:`repro.analysis.reports.suite_rows` renders with INT/FP/TOTAL
 average rows, matching the layout of the paper's charts.
 
+Each figure also exposes a ``*_points`` enumerator naming every
+simulation point it needs (empty for the trace-analysis figures), so a
+driver can collect the whole batch up front and fan it out over
+:func:`repro.experiments.parallel.run_grid`; the figure functions then
+pull the results from the in-process memo.  Called directly (without a
+pre-warmed batch), the functions still compute correctly — point by
+point through :func:`run_point`.
+
 The functions only *compute*; printing is left to the benchmark harness
 and examples.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..analysis.stride_profile import STRIDE_BUCKETS, stride_histogram
 from ..analysis.vectorizability import vectorizable_fraction
 from ..workloads.spec95 import ALL_BENCHMARKS, SPEC_FP, SPEC_INT, cached_trace
+from .parallel import GridPoint
 from .runner import EXPERIMENT_SCALE, MODES, PORT_COUNTS, label, run_point
 
 Rows = Dict[str, Dict[str, float]]
+Points = List[GridPoint]
+
+
+def _suite_points(
+    scale: int, width: int = 4, ports: int = 1, mode: str = "V"
+) -> Points:
+    """One grid point per benchmark at a fixed configuration."""
+    return [GridPoint(name, width, ports, mode, scale) for name in ALL_BENCHMARKS]
+
+
+def fig01_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    """Trace analysis only — no timing simulations."""
+    return []
 
 
 def fig01_stride_distribution(scale: int = EXPERIMENT_SCALE) -> Rows:
@@ -29,6 +51,11 @@ def fig01_stride_distribution(scale: int = EXPERIMENT_SCALE) -> Rows:
         hist = stride_histogram(cached_trace(name, scale))
         out[name] = {bucket: hist[bucket] for bucket in STRIDE_BUCKETS}
     return out
+
+
+def fig03_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    """Trace analysis only — no timing simulations."""
+    return []
 
 
 def fig03_vectorizable(scale: int = EXPERIMENT_SCALE) -> Rows:
@@ -42,6 +69,14 @@ def fig03_vectorizable(scale: int = EXPERIMENT_SCALE) -> Rows:
             "alu": result.vector_alu / result.total if result.total else 0.0,
         }
     return out
+
+
+def fig07_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    return [
+        GridPoint(name, 4, 1, "V", scale, block)
+        for name in ALL_BENCHMARKS
+        for block in (True, False)
+    ]
 
 
 def fig07_scalar_blocking(scale: int = EXPERIMENT_SCALE) -> Rows:
@@ -58,6 +93,10 @@ def fig07_scalar_blocking(scale: int = EXPERIMENT_SCALE) -> Rows:
     return out
 
 
+def fig09_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    return _suite_points(scale, width=8)
+
+
 def fig09_offsets(scale: int = EXPERIMENT_SCALE) -> Rows:
     """Figure 9: % of vector instructions created with a nonzero source
     offset, 8-way processor with 128 vector registers."""
@@ -69,6 +108,10 @@ def fig09_offsets(scale: int = EXPERIMENT_SCALE) -> Rows:
     return out
 
 
+def fig10_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    return _suite_points(scale)
+
+
 def fig10_control_independence(scale: int = EXPERIMENT_SCALE) -> Rows:
     """Figure 10: % of the 100 instructions after a mispredicted branch
     whose work is reused from the vector datapath (4-way, 1 wide port)."""
@@ -77,6 +120,16 @@ def fig10_control_independence(scale: int = EXPERIMENT_SCALE) -> Rows:
         st = run_point(name, width=4, ports=1, mode="V", scale=scale)
         out[name] = {"reused": st.cfi_reuse_fraction}
     return out
+
+
+def fig11_points(width: int, scale: int = EXPERIMENT_SCALE) -> Points:
+    """The full {1,2,4} ports x {noIM,IM,V} grid at one width (Fig 11/12)."""
+    return [
+        GridPoint(name, width, ports, mode, scale)
+        for name in ALL_BENCHMARKS
+        for ports in PORT_COUNTS
+        for mode in MODES
+    ]
 
 
 def fig11_ipc(width: int, scale: int = EXPERIMENT_SCALE) -> Rows:
@@ -92,6 +145,10 @@ def fig11_ipc(width: int, scale: int = EXPERIMENT_SCALE) -> Rows:
     return out
 
 
+def fig12_points(width: int, scale: int = EXPERIMENT_SCALE) -> Points:
+    return fig11_points(width, scale)
+
+
 def fig12_port_occupancy(width: int, scale: int = EXPERIMENT_SCALE) -> Rows:
     """Figure 12: L1 data-port occupancy over the same grid as Fig 11."""
     out: Rows = {}
@@ -103,6 +160,10 @@ def fig12_port_occupancy(width: int, scale: int = EXPERIMENT_SCALE) -> Rows:
                 row[label(ports, mode)] = st.port_occupancy
         out[name] = row
     return out
+
+
+def fig13_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    return _suite_points(scale)
 
 
 def fig13_wide_bus(scale: int = EXPERIMENT_SCALE) -> Rows:
@@ -122,6 +183,10 @@ def fig13_wide_bus(scale: int = EXPERIMENT_SCALE) -> Rows:
     return out
 
 
+def fig14_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    return _suite_points(scale, width=8)
+
+
 def fig14_validations(scale: int = EXPERIMENT_SCALE) -> Rows:
     """Figure 14: % of instructions turned into validation operations,
     8-way superscalar with one wide bus."""
@@ -130,6 +195,10 @@ def fig14_validations(scale: int = EXPERIMENT_SCALE) -> Rows:
         st = run_point(name, width=8, ports=1, mode="V", scale=scale)
         out[name] = {"validations": st.validation_fraction}
     return out
+
+
+def fig15_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    return _suite_points(scale, width=8)
 
 
 def fig15_prediction_accuracy(scale: int = EXPERIMENT_SCALE) -> Rows:
@@ -145,6 +214,18 @@ def fig15_prediction_accuracy(scale: int = EXPERIMENT_SCALE) -> Rows:
             "not_comp": avg["not_computed"],
         }
     return out
+
+
+def headline_points(scale: int = EXPERIMENT_SCALE) -> Points:
+    """Every simulation behind the §1/§4/§6 scalar claims."""
+    points = []
+    for name in ALL_BENCHMARKS:
+        points.append(GridPoint(name, 4, 1, "V", scale))
+        points.append(GridPoint(name, 4, 4, "noIM", scale))
+        points.append(GridPoint(name, 8, 4, "noIM", scale))
+        points.append(GridPoint(name, 4, 1, "IM", scale))
+        points.append(GridPoint(name, 8, 1, "V", scale))
+    return points
 
 
 def headline_claims(scale: int = EXPERIMENT_SCALE) -> Dict[str, float]:

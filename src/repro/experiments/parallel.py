@@ -1,0 +1,178 @@
+"""Process-pool fan-out for the experiment grid.
+
+The figure grid is embarrassingly parallel: every (benchmark, width,
+ports, mode) point is one independent simulation of its own
+:class:`~repro.pipeline.machine.Machine` on its own trace.  This module
+fans a batch of grid points out over a
+:class:`concurrent.futures.ProcessPoolExecutor` and merges the results
+back into the in-process memo of :mod:`repro.experiments.runner`, so the
+figure functions afterwards run entirely from memory.
+
+Layering per point, cheapest first:
+
+1. the parent's in-process memo (free);
+2. the persistent disk cache — checked *in the parent* so a warm cache
+   never even spawns the pool;
+3. a pool worker, which re-checks the disk cache in its own process
+   (another worker may race it harmlessly: writes are atomic and
+   byte-identical) and simulates on miss.
+
+Determinism is the contract: a grid point's result is a pure function of
+its coordinates and the simulator sources, so serial, parallel and
+cache-hit paths produce identical :class:`~repro.pipeline.stats.SimStats`
+— the equivalence tests in ``tests/experiments/test_parallel.py`` pin
+this.
+
+Worker count: the ``jobs`` argument, else ``$REPRO_JOBS``, else
+``os.cpu_count()``.  ``jobs=1`` runs serially in-process (no pool, same
+results).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from ..pipeline.stats import SimStats
+from . import diskcache, runner
+
+
+class GridPoint(NamedTuple):
+    """One coordinate of the experiment grid (hashable, pool-picklable)."""
+
+    name: str
+    width: int = 4
+    ports: int = 1
+    mode: str = "V"
+    scale: int = runner.EXPERIMENT_SCALE
+    block_on_scalar_operand: bool = True
+
+
+@dataclass
+class GridReport:
+    """Where each point of one :func:`run_grid` batch came from."""
+
+    requested: int = 0
+    unique: int = 0
+    memo_hits: int = 0
+    disk_hits: int = 0
+    simulated: int = 0
+    jobs: int = 1
+
+    def summary(self) -> str:
+        return (
+            f"grid: {self.requested} points ({self.unique} unique) — "
+            f"{self.simulated} simulated, {self.disk_hits} disk-cache hits, "
+            f"{self.memo_hits} memo hits [jobs={self.jobs}]"
+        )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count from the argument, ``$REPRO_JOBS``, or the CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, jobs)
+
+
+def _worker_run_point(key: GridPoint):
+    """Pool entry point: compute one grid point in a worker process.
+
+    Returns ``(key, stats-as-dict, simulated_flag)``; the dict form keeps
+    the pickled payload decoupled from SimStats object identity.
+    """
+    before = runner.simulations_run()
+    stats = runner.compute_point(tuple(key))
+    simulated = runner.simulations_run() > before
+    return key, diskcache.stats_to_dict(stats), simulated
+
+
+def run_grid(
+    points: Iterable[GridPoint],
+    jobs: Optional[int] = None,
+    report: Optional[GridReport] = None,
+) -> Dict[GridPoint, SimStats]:
+    """Compute every grid point, fanning misses out over a process pool.
+
+    Returns ``{point: master SimStats}`` — treat the values as immutable
+    (they are the memo's master copies; :func:`runner.run_point` hands out
+    private copies and becomes a memo hit for every point computed here).
+    ``report``, when given, is filled with hit/miss accounting.
+    """
+    points = list(points)
+    if report is None:
+        report = GridReport()
+    report.requested = len(points)
+    jobs = resolve_jobs(jobs)
+    report.jobs = jobs
+
+    ordered: List[GridPoint] = []
+    seen = set()
+    for point in points:
+        point = GridPoint(*point)
+        if point not in seen:
+            seen.add(point)
+            ordered.append(point)
+    report.unique = len(ordered)
+
+    results: Dict[GridPoint, SimStats] = {}
+    todo: List[GridPoint] = []
+    for point in ordered:
+        key = tuple(point)
+        if runner.memo_contains(key):
+            results[point] = runner.memo_get(key)
+            report.memo_hits += 1
+        else:
+            todo.append(point)
+
+    # Parent-side disk probe: a fully warm cache never spawns the pool.
+    still_cold: List[GridPoint] = []
+    for point in todo:
+        config = runner.point_config(
+            point.width, point.ports, point.mode, point.block_on_scalar_operand
+        )
+        cached = diskcache.load_stats(diskcache.stats_key(point.name, point.scale, 0, config))
+        if cached is not None:
+            runner.prime_memo(tuple(point), cached)
+            results[point] = cached
+            report.disk_hits += 1
+        else:
+            still_cold.append(point)
+
+    if still_cold:
+        if jobs > 1 and len(still_cold) > 1:
+            computed = _pool_map(still_cold, jobs)
+        else:
+            computed = []
+            for point in still_cold:
+                before = runner.simulations_run()
+                stats = runner.compute_point(tuple(point))
+                computed.append((point, diskcache.stats_to_dict(stats), runner.simulations_run() > before))
+        for point, payload, simulated in computed:
+            stats = diskcache.stats_from_dict(payload)
+            runner.prime_memo(tuple(point), stats)
+            results[point] = runner.memo_get(tuple(point))
+            if simulated:
+                report.simulated += 1
+            else:
+                report.disk_hits += 1
+
+    return results
+
+
+def _pool_map(points: List[GridPoint], jobs: int):
+    """Fan ``points`` out over a process pool (serial fallback on failure)."""
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+            return list(pool.map(_worker_run_point, points))
+    except (OSError, ImportError):
+        # Restricted environments (no sem_open / fork): degrade to serial.
+        return [_worker_run_point(point) for point in points]

@@ -1,21 +1,38 @@
-"""Shared experiment execution with memoization.
+"""Shared experiment execution with two-layer memoization.
 
 The paper's evaluation sweeps the same 12 benchmarks over a grid of
 machine configurations; several figures reuse the same runs (Fig 11's IPC
-and Fig 12's occupancy come from identical simulations).  This module
-caches both the functional traces and the timing results so the full
-figure set costs one simulation per (benchmark, width, ports, mode)
-point.
+and Fig 12's occupancy come from identical simulations).  Results are
+cached at two layers:
+
+* **in-process memo** — a plain dict keyed by the grid coordinates, so
+  repeated :func:`run_point` calls inside one process cost a dict lookup;
+* **persistent disk cache** (:mod:`repro.experiments.diskcache`) — keyed
+  by a content hash of the benchmark, scale, resolved
+  :class:`~repro.pipeline.config.MachineConfig` and a digest of the
+  simulator sources, so a *new* process (a rerun of ``python -m repro
+  figures``, a pytest-bench invocation, a pool worker) skips simulation
+  entirely for points any earlier process already ran.
+
+:func:`run_point` returns a **private copy** of the cached stats: callers
+may freely mutate the result (e.g. normalize counters in place) without
+corrupting what later callers — or other figures sharing the same grid
+point — observe.
+
+For whole-grid fan-out over a process pool, see
+:mod:`repro.experiments.parallel`.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from dataclasses import replace
+from typing import Dict, Tuple
 
-from ..pipeline.config import make_config
+from ..pipeline.config import MachineConfig, make_config
 from ..pipeline.machine import Machine
 from ..pipeline.stats import SimStats
 from ..workloads.spec95 import cached_trace
+from . import diskcache
 
 #: default dynamic instruction budget per benchmark for experiments; large
 #: enough for steady-state statistics, small enough for a pure-Python
@@ -26,8 +43,28 @@ EXPERIMENT_SCALE = 12_000
 PORT_COUNTS = (1, 2, 4)
 MODES = ("noIM", "IM", "V")
 
+#: grid coordinates -> master SimStats (the in-process memo layer).
+PointKey = Tuple[str, int, int, str, int, bool]
+_MEMO: Dict[PointKey, SimStats] = {}
 
-@lru_cache(maxsize=None)
+#: simulations actually executed by this process (memo/disk misses).
+_SIMULATIONS_RUN = 0
+
+
+def point_config(
+    width: int, ports: int, mode: str, block_on_scalar_operand: bool = True
+) -> MachineConfig:
+    """The fully-resolved config for one grid point (shared with workers)."""
+    config = make_config(width, ports, mode)
+    config.vector.block_on_scalar_operand = block_on_scalar_operand
+    return config
+
+
+def _copy_stats(stats: SimStats) -> SimStats:
+    """A structurally-fresh copy sharing no mutable state with the master."""
+    return replace(stats, usefulness=dict(stats.usefulness))
+
+
 def run_point(
     name: str,
     width: int = 4,
@@ -38,13 +75,74 @@ def run_point(
 ) -> SimStats:
     """Simulate benchmark ``name`` on one machine-configuration point.
 
-    Results are memoized for the lifetime of the process; callers must
-    treat the returned :class:`SimStats` as immutable.
+    Results are memoized in-process and persisted to the on-disk cache;
+    every call returns a fresh :class:`SimStats` copy, so mutating a
+    returned object never affects other callers.
     """
-    trace = cached_trace(name, scale)
-    config = make_config(width, ports, mode)
-    config.vector.block_on_scalar_operand = block_on_scalar_operand
-    return Machine(config, trace).run()
+    key = (name, width, ports, mode, scale, block_on_scalar_operand)
+    stats = _MEMO.get(key)
+    if stats is None:
+        stats = _MEMO[key] = compute_point(key)
+    return _copy_stats(stats)
+
+
+def compute_point(key: PointKey) -> SimStats:
+    """Disk-cache lookup + (on miss) one simulation for one grid point.
+
+    Shared by :func:`run_point` and the process-pool workers; bypasses the
+    in-process memo on purpose (the callers own that layer).
+    """
+    global _SIMULATIONS_RUN
+    name, width, ports, mode, scale, block_on_scalar_operand = key
+    config = point_config(width, ports, mode, block_on_scalar_operand)
+    disk_key = diskcache.stats_key(name, scale, 0, config)
+    stats = diskcache.load_stats(disk_key)
+    if stats is None:
+        trace = cached_trace(name, scale)
+        stats = Machine(config, trace).run()
+        _SIMULATIONS_RUN += 1
+        diskcache.store_stats(
+            disk_key,
+            stats,
+            describe={
+                "benchmark": name,
+                "width": width,
+                "ports": ports,
+                "mode": mode,
+                "scale": scale,
+                "block_on_scalar_operand": block_on_scalar_operand,
+            },
+        )
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# Memo management (used by the parallel runner and tests)
+# ---------------------------------------------------------------------------
+
+
+def prime_memo(key: PointKey, stats: SimStats) -> None:
+    """Install a result computed elsewhere (e.g. by a pool worker)."""
+    _MEMO.setdefault(key, stats)
+
+
+def memo_contains(key: PointKey) -> bool:
+    return key in _MEMO
+
+
+def memo_get(key: PointKey) -> SimStats:
+    """The master memo entry for ``key`` (callers must not mutate it)."""
+    return _MEMO[key]
+
+
+def clear_memo() -> None:
+    """Drop the in-process layer (tests; the disk layer is untouched)."""
+    _MEMO.clear()
+
+
+def simulations_run() -> int:
+    """How many actual simulations this process has executed."""
+    return _SIMULATIONS_RUN
 
 
 def label(ports: int, mode: str) -> str:

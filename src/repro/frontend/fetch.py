@@ -60,6 +60,9 @@ class FetchUnit:
         #: True while waiting for a mispredicted branch to resolve.
         self._blocked = False
         self._last_line: Optional[int] = None
+        # Hoisted per-instruction constants (hot loop).
+        self._l1i_line = hierarchy.config.l1i_line
+        self._l1i_hit_latency = hierarchy.config.l1i_hit_latency
 
     # ------------------------------------------------------------------
 
@@ -93,20 +96,26 @@ class FetchUnit:
             return []
         entries = self.trace.entries
         n = len(entries)
-        if self._index >= n:
+        index = self._index
+        if index >= n:
             return []
         group: List[FetchedInstr] = []
         budget = min(self.width, room)
-        while budget > 0 and self._index < n:
-            entry = entries[self._index]
+        l1i_line = self._l1i_line
+        # Opcode range bounds for the branch/control tests (TraceEntry's
+        # is_branch/is_control properties, inlined for this hot loop).
+        beq, bge, jal = Opcode.BEQ, Opcode.BGE, Opcode.JAL
+        while budget > 0 and index < n:
+            entry = entries[index]
             # I-cache: probe when the group crosses into a new line.
-            line = (entry.pc * INSTR_BYTES) // self.hierarchy.config.l1i_line
+            line = (entry.pc * INSTR_BYTES) // l1i_line
             if line != self._last_line:
                 ready = self.hierarchy.inst_access(entry.pc * INSTR_BYTES, now)
                 self._last_line = line
-                if ready > now + self.hierarchy.config.l1i_hit_latency:
+                if ready > now + self._l1i_hit_latency:
                     # Miss: this group ends; retry once the line arrives.
                     self._stalled_until = ready
+                    self._index = index
                     if group:
                         # Group formed so far still issues this cycle.
                         return group
@@ -114,22 +123,23 @@ class FetchUnit:
             mispredicted = False
             taken = entry.taken
             op = entry.op
-            if entry.is_branch:
+            if beq <= op <= bge:  # conditional branch
                 correct = self.gshare.predict_and_update(entry.pc, taken)
                 mispredicted = not correct
             elif op is Opcode.JR:
                 correct = self.indirect.predict_and_update(entry.pc, entry.next_pc)
                 mispredicted = not correct
             # Direct J/JAL: perfect BTB, taken, never mispredicted.
-            self._index += 1
+            index += 1
             group.append(FetchedInstr(entry, mispredicted, now))
             budget -= 1
             if mispredicted:
                 # Fetch goes down the wrong path; starve until resolution.
                 self._blocked = True
                 break
-            if entry.is_control and taken:
+            if taken and beq <= op <= jal:  # any control transfer
                 # At most one taken control transfer per cycle.
                 self._last_line = None
                 break
+        self._index = index
         return group

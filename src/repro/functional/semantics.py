@@ -109,6 +109,50 @@ _BRANCH: Dict[Opcode, Callable[[int, int], bool]] = {
 }
 
 
+def _int2(fn: Callable[[int, int], int]) -> Callable[[Number, Number], Number]:
+    def call(a: Number, b: Number) -> Number:
+        return fn(s64(int(a)), s64(int(b)))
+
+    return call
+
+
+def _fp2(fn: Callable[[float, float], float]) -> Callable[[Number, Number], Number]:
+    def call(a: Number, b: Number) -> Number:
+        return fn(float(a), float(b))
+
+    return call
+
+
+def _fp1(fn: Callable[[float], float]) -> Callable[[Number, Number], Number]:
+    def call(a: Number, b: Number) -> Number:
+        return fn(float(a))
+
+    return call
+
+
+def _build_alu_dispatch() -> Dict[Opcode, Callable[[Number, Number], Number]]:
+    """One pre-composed coercion+operation callable per arithmetic opcode,
+    so :func:`apply_alu` is a single dict lookup instead of probing the
+    four class tables in turn (it runs once per traced instruction and once
+    per vector ALU element)."""
+    table: Dict[Opcode, Callable[[Number, Number], Number]] = {}
+    for op, fn in _INT_RR.items():
+        table[op] = _int2(fn)
+    for op, rr in _RI_TO_RR.items():
+        table[op] = table[rr]
+    for op, fn2 in _FP_RR.items():
+        table[op] = _fp2(fn2)
+    for op, fn1 in _FP_R.items():
+        table[op] = _fp1(fn1)
+    table[Opcode.LI] = lambda a, b: s64(int(b))
+    table[Opcode.ITOF] = lambda a, b: float(int(a))
+    table[Opcode.FTOI] = lambda a, b: s64(int(float(a)))
+    return table
+
+
+_ALU_DISPATCH = _build_alu_dispatch()
+
+
 def apply_alu(op: Opcode, a: Number, b: Number) -> Number:
     """Compute the result of arithmetic opcode ``op`` on operands ``a, b``.
 
@@ -118,25 +162,10 @@ def apply_alu(op: Opcode, a: Number, b: Number) -> Number:
     the opcode (int ops truncate floats toward zero; fp ops widen ints), so
     the function is total over any register contents.
     """
-    fn = _INT_RR.get(op)
-    if fn is not None:
-        return fn(s64(int(a)), s64(int(b)))
-    rr = _RI_TO_RR.get(op)
-    if rr is not None:
-        return _INT_RR[rr](s64(int(a)), s64(int(b)))
-    fn2 = _FP_RR.get(op)
-    if fn2 is not None:
-        return fn2(float(a), float(b))
-    fn1 = _FP_R.get(op)
-    if fn1 is not None:
-        return fn1(float(a))
-    if op is Opcode.LI:
-        return s64(int(b))
-    if op is Opcode.ITOF:
-        return float(int(a))
-    if op is Opcode.FTOI:
-        return s64(int(float(a)))
-    raise ValueError(f"apply_alu: {op.name} is not an arithmetic opcode")
+    fn = _ALU_DISPATCH.get(op)
+    if fn is None:
+        raise ValueError(f"apply_alu: {op.name} is not an arithmetic opcode")
+    return fn(a, b)
 
 
 def branch_taken(op: Opcode, a: Number, b: Number) -> bool:

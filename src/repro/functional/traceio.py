@@ -18,7 +18,12 @@ Floats round-trip exactly (JSON numbers are IEEE doubles, the same type
 the simulator computes with).  The :class:`~repro.isa.program.Program`
 itself is *not* serialized — a loaded trace carries a stub program that
 supports exactly what the timing model needs (``is_backward`` per PC and
-``len``), reconstructed from the trace's control-flow facts.
+``len``).  Format 2 records the backward-branch PCs explicitly in the
+header, so a loaded trace reproduces ``is_backward`` — and therefore
+every GMRBB-dependent timing statistic — bit-for-bit; format 1 files
+(no ``backward`` field) reconstruct control-flow direction from the
+observed dynamic transfers, which is lossy for branches whose last
+dynamic instance fell through.
 """
 
 from __future__ import annotations
@@ -33,7 +38,10 @@ from ..isa.program import Program
 from .memory import MemoryImage
 from .trace import Trace, TraceEntry
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions :func:`load_trace` understands.
+_READABLE_VERSIONS = (1, 2)
 
 
 class TraceFormatError(Exception):
@@ -42,11 +50,13 @@ class TraceFormatError(Exception):
 
 def dump_trace(trace: Trace, stream: IO[str]) -> None:
     """Serialize ``trace`` to a text stream (JSON lines)."""
+    program = trace.program
     header = {
         "format": FORMAT_VERSION,
         "entries": len(trace.entries),
         "halted": trace.halted,
-        "program_len": len(trace.program),
+        "program_len": len(program),
+        "backward": [pc for pc in range(len(program)) if program.is_backward(pc)],
     }
     stream.write(json.dumps(header) + "\n")
     stream.write(
@@ -94,7 +104,8 @@ def _stub_program(program_len: int, entries: List[TraceEntry]) -> Program:
 
     Only control-flow direction matters (GMRBB tracking): any pc observed
     taking a non-JR control transfer is rebuilt as a branch with its
-    observed target; everything else becomes NOP.
+    observed target; everything else becomes NOP.  (Format-1 fallback —
+    lossy when a branch's final dynamic instance fell through.)
     """
     instructions = [Instruction(Opcode.NOP) for _ in range(max(1, program_len))]
     for e in entries:
@@ -107,14 +118,27 @@ def _stub_program(program_len: int, entries: List[TraceEntry]) -> Program:
     return Program(instructions)
 
 
+def _stub_program_from_backward(program_len: int, backward: List[int]) -> Program:
+    """Format-2 stub: the header names every backward-control pc, so the
+    skeleton reproduces ``is_backward`` exactly (a self-targeting jump is
+    backward by definition; everything else is NOP)."""
+    instructions = [Instruction(Opcode.NOP) for _ in range(max(1, program_len))]
+    for pc in backward:
+        if not 0 <= pc < len(instructions):
+            raise TraceFormatError(f"backward pc {pc} out of range")
+        instructions[pc] = Instruction(Opcode.J, target=pc)
+    return Program(instructions)
+
+
 def load_trace(stream: IO[str]) -> Trace:
     """Deserialize a trace written by :func:`dump_trace`."""
     try:
         header = json.loads(stream.readline())
     except json.JSONDecodeError as exc:
         raise TraceFormatError("bad header line") from exc
-    if header.get("format") != FORMAT_VERSION:
-        raise TraceFormatError(f"unsupported format {header.get('format')!r}")
+    version = header.get("format")
+    if version not in _READABLE_VERSIONS:
+        raise TraceFormatError(f"unsupported format {version!r}")
     memory_line = json.loads(stream.readline())
     regs_line = json.loads(stream.readline())
     initial = MemoryImage({int(addr): value for addr, value in memory_line.items()})
@@ -145,8 +169,14 @@ def load_trace(stream: IO[str]) -> Trace:
     for e in entries:
         if e.is_store:
             final.store(e.addr, e.value)
+    if version >= 2:
+        program = _stub_program_from_backward(
+            header["program_len"], header.get("backward", [])
+        )
+    else:
+        program = _stub_program(header["program_len"], entries)
     return Trace(
-        program=_stub_program(header["program_len"], entries),
+        program=program,
         entries=entries,
         initial_memory=initial,
         final_memory=final,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/writeback counters for one cache."""
 
@@ -82,8 +82,16 @@ class Cache:
         the fill completes and calls :meth:`fill`, so that latency and
         MSHR behaviour stay out of this class.
         """
-        line = self.line_addr(addr)
-        way = self._sets[self._set_index(line)]
+        line_bytes = self.line_bytes
+        line = addr - (addr % line_bytes)
+        way = self._sets[(line // line_bytes) % self.num_sets]
+        # MRU fast path: most accesses re-touch the most recent line of the
+        # set, where the LRU order is already correct.
+        if way and way[0] == line:
+            if is_write:
+                self._dirty[line] = True
+            self.stats.hits += 1
+            return True
         if line in way:
             way.remove(line)
             way.insert(0, line)

@@ -31,7 +31,7 @@ from typing import Dict, List
 WORDS_PER_LINE = 4
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadTransaction:
     """Usefulness accounting for one read access of a line."""
 

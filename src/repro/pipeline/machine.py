@@ -25,7 +25,10 @@ refill penalty (DESIGN.md §5.1).
 
 from __future__ import annotations
 
+import gc
 from collections import deque
+from heapq import heapify, heappop, heappush
+from operator import attrgetter
 from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from ..core.engine import DecodeKind, VectorizationEngine
@@ -55,6 +58,22 @@ K_TRIGGER = 4  # created a vector instance; completes with its start element
 #: dependence token: None (ready), a producing InFlight, or (reg, elem).
 Dep = Union[None, "InFlight", Tuple]
 
+#: opcode sets for the dispatch fast path (avoids per-entry property calls
+#: on the TraceEntry dataclass in the hottest loops).
+_LOAD_OPS = frozenset((Opcode.LD, Opcode.FLD))
+_STORE_OPS = frozenset((Opcode.ST, Opcode.FST))
+_MEM_OPS = _LOAD_OPS | _STORE_OPS
+
+#: mul/div scalar FUs are unpipelined (SimpleScalar convention).
+_UNPIPELINED_FUS = frozenset(
+    (FuClass.INT_MUL, FuClass.INT_DIV, FuClass.FP_MUL, FuClass.FP_DIV)
+)
+
+#: single-source fp/convert forms whose missing rs2 is NOT an immediate.
+_NO_IMM_OPS = frozenset(
+    (Opcode.FNEG, Opcode.FABS, Opcode.FMOV, Opcode.FSQRT, Opcode.ITOF, Opcode.FTOI)
+)
+
 
 class InFlight:
     """One dynamic instruction occupying the window."""
@@ -75,10 +94,13 @@ class InFlight:
         "vreg",
         "velem",
         "pred_addr",
+        "pred_mismatch",
         "counts_as_validation",
         "vrmt_rollback",
         "saved_renames",
         "mem_queued",
+        "waiters",
+        "squashed",
     )
 
     def __init__(self, seq: int, entry: TraceEntry, kind: int) -> None:
@@ -97,14 +119,26 @@ class InFlight:
         self.vreg = None
         self.velem = -1
         self.pred_addr: Optional[int] = None
+        #: True when pred_addr is set and differs from the actual address.
+        #: Both inputs are fixed at dispatch, so the validation outcome of
+        #: the address check is precomputed once (execute hot path).
+        self.pred_mismatch = False
         self.counts_as_validation = False
         self.vrmt_rollback = None
         self.saved_renames: List[Tuple[int, Tuple]] = []
         self.mem_queued = False
+        #: instructions sleeping until this one's completion time is known
+        #: (lazily created; see Machine._execute's dependence check).
+        self.waiters: Optional[List["InFlight"]] = None
+        #: True once removed from the window by a squash — a stale entry on
+        #: some producer's ``waiters`` list must not be re-woken.
+        self.squashed = False
 
 
 #: rename-map entries: ("S", producer-or-None) / ("V", reg, elem).
 _READY = ("S", None)
+
+_SEQ_KEY = attrgetter("seq")
 
 
 class Machine:
@@ -129,6 +163,11 @@ class Machine:
         self.rob: Deque[InFlight] = deque()
         self.lsq: List[InFlight] = []
         self.waiting: List[InFlight] = []
+        #: validations/triggers whose element has a *known* completion time
+        #: in the future, parked off the per-cycle scan until that cycle.
+        #: Min-heap of (wake_cycle, seq, InFlight) — see _execute for the
+        #: exactness argument.
+        self._parked: List[Tuple[int, int, InFlight]] = []
         self.mem_queue: List[InFlight] = []
         self.fetch_queue: Deque[FetchedInstr] = deque()
         self.rename: Dict[int, Tuple] = {}
@@ -145,6 +184,18 @@ class Machine:
         #: per-pc backward-branch flags for GMRBB tracking.
         program = trace.program
         self._is_backward = [program.is_backward(pc) for pc in range(len(program))]
+        # Hoisted configuration scalars (read every cycle in the hot loop;
+        # going through the config dataclass costs two attribute lookups).
+        self._width = config.width
+        self._commit_width = config.commit_width
+        self._rob_size = config.rob_size
+        self._lsq_size = config.lsq_size
+        self._fetch_queue_size = config.fetch_queue_size
+        self._mispredict_penalty = config.mispredict_penalty
+        self._wide_bus = config.wide_bus
+        self._line_bytes = config.hierarchy.l1d_line
+        self._max_store_commit = config.vector.max_store_commit
+        self._block_scalar_operand = config.vector.block_on_scalar_operand
 
     # ==================================================================
     # helpers
@@ -176,6 +227,16 @@ class Machine:
             return (ref[1], ref[2])
         return ref[1]
 
+    def _dep_of_reg(self, logical: int) -> Dep:
+        """Dependence token for reading ``logical`` (combined
+        :meth:`_rename_ref` + :meth:`_dep_of_ref`, dispatch hot path)."""
+        if logical == ZERO_REG:
+            return None
+        ref = self.rename.get(logical, _READY)
+        if ref[0] == "V":
+            return (ref[1], ref[2])
+        return ref[1]
+
     def _acquire_fu(self, fu_class: FuClass, now: int) -> bool:
         """Grab a scalar functional unit for an op starting this cycle."""
         pool = self.fu_free.get(fu_class)
@@ -184,13 +245,8 @@ class Machine:
         for i, free_at in enumerate(pool):
             if free_at <= now:
                 # Simple units are fully pipelined; mul/div units are busy
-                # for the whole operation (SimpleScalar convention).
-                if fu_class in (
-                    FuClass.INT_MUL,
-                    FuClass.INT_DIV,
-                    FuClass.FP_MUL,
-                    FuClass.FP_DIV,
-                ):
+                # for the whole operation.
+                if fu_class in _UNPIPELINED_FUS:
                     pool[i] = now + FU_LATENCY[fu_class]
                 else:
                     pool[i] = now + 1
@@ -205,63 +261,77 @@ class Machine:
         committed = 0
         stores_this_cycle = 0
         engine = self.engine
-        while self.rob and committed < self.config.commit_width:
-            fl = self.rob[0]
-            if fl.done_at is None or fl.done_at > now:
+        rob = self.rob
+        stats = self.stats
+        ports = self.ports
+        commit_width = self._commit_width
+        max_store_commit = self._max_store_commit
+        is_backward = self._is_backward
+        vec_map = self.committed_vec_map
+        cfi_windows = self.cfi_windows
+        while rob and committed < commit_width:
+            fl = rob[0]
+            t = fl.done_at
+            if t is None or t > now:
                 break
             entry = fl.entry
+            kind = fl.kind
             conflict = False
-            if fl.kind == K_STORE:
-                if engine is not None and (
-                    stores_this_cycle >= self.config.vector.max_store_commit
-                ):
+            if kind == K_STORE:
+                if engine is not None and stores_this_cycle >= max_store_commit:
                     break
-                if self.ports.available() == 0:
+                if ports.available() == 0:
                     break
                 ready = self.hierarchy.data_access(fl.addr, now, is_write=True)
                 if ready is None:  # MSHR full
                     break
-                self.ports.take()
-                self.ports.open_write()
-                self.stats.write_accesses += 1
+                ports.take()
+                ports.open_write()
+                stats.write_accesses += 1
                 self.commit_memory.store(fl.addr, entry.value)
                 stores_this_cycle += 1
-                self.stats.committed_stores += 1
+                stats.committed_stores += 1
                 if engine is not None:
                     conflict = engine.on_store_commit(fl.addr, now)
 
-            self.rob.popleft()
-            if fl.kind in (K_LOAD, K_STORE):
-                self.lsq.remove(fl)
-            committed += 1
-            self.committed_count += 1
-            self.stats.committed += 1
-            self._account_cfi(fl, now)
-
-            if fl.kind in (K_VALIDATION, K_TRIGGER):
-                engine.on_validation_commit(fl, now, self.ports)
-
-            rd = entry.rd
-            if rd != NO_REG and rd != ZERO_REG:
-                old = self.committed_vec_map.get(rd)
-                if old is not None and engine is not None:
-                    engine.set_element_freed(old[0], old[1], old[2], now)
-                if fl.kind in (K_VALIDATION, K_TRIGGER):
-                    self.committed_vec_map[rd] = (fl.vreg, fl.vreg.gen, fl.velem)
+            rob.popleft()
+            if kind == K_LOAD or kind == K_STORE:
+                # In-order commit means the oldest memory op leaves first,
+                # so this is lsq[0] except across a just-flushed window.
+                lsq = self.lsq
+                if lsq[0] is fl:
+                    del lsq[0]
                 else:
-                    self.committed_vec_map[rd] = None
+                    lsq.remove(fl)
+            committed += 1
+            stats.committed += 1
+            if cfi_windows:
+                self._account_cfi(fl, now)
 
-            if (
-                engine is not None
-                and entry.is_control
-                and self._is_backward[entry.pc]
-            ):
-                engine.on_backward_branch_commit(entry.pc, now)
+            if engine is not None:
+                # Everything below maintains vector-side commit state, which
+                # does not exist in the scalar (noIM/IM) machines.
+                if kind >= K_VALIDATION:  # K_VALIDATION or K_TRIGGER
+                    engine.on_validation_commit(fl, now, self.ports)
+
+                rd = entry.rd
+                if rd != NO_REG and rd != ZERO_REG:
+                    old = vec_map.get(rd)
+                    if old is not None:
+                        engine.set_element_freed(old[0], old[1], old[2], now)
+                    if kind >= K_VALIDATION:
+                        vec_map[rd] = (fl.vreg, fl.vreg.gen, fl.velem)
+                    else:
+                        vec_map[rd] = None
+
+                if is_backward[entry.pc] and entry.is_control:
+                    engine.on_backward_branch_commit(entry.pc, now)
 
             if conflict:
                 # §3.6: squash everything younger than the store.
-                self._flush_from(fl.seq + 1, now + 1 + self.config.mispredict_penalty, now)
+                self._flush_from(fl.seq + 1, now + 1 + self._mispredict_penalty, now)
                 break
+        self.committed_count += committed
 
     def _account_cfi(self, fl: InFlight, now: int) -> None:
         """Fig 10: count committed instructions in the 100 after each
@@ -292,33 +362,105 @@ class Machine:
     # ==================================================================
 
     def _execute(self, now: int) -> None:
-        issues_left = self.config.width
+        issues_left = self._width
         engine = self.engine
+        stats = self.stats
+        fu_latency = FU_LATENCY
+        acquire_fu = self._acquire_fu
+        try_load = self._try_load
+        # Parked validations/triggers whose wake cycle has arrived rejoin
+        # the scan.  Both lists are seq-sorted, so extend+sort is a cheap
+        # two-run merge and the scan order matches the never-parked order.
+        parked = self._parked
+        if parked and parked[0][0] <= now:
+            waiting = self.waiting
+            while parked and parked[0][0] <= now:
+                waiting.append(heappop(parked)[2])
+            waiting.sort(key=_SEQ_KEY)
         still_waiting: List[InFlight] = []
+        keep = still_waiting.append
         flush_seq: Optional[int] = None
         for fl in self.waiting:
             if flush_seq is not None:
                 if fl.seq < flush_seq:
-                    still_waiting.append(fl)
+                    keep(fl)
+                continue
+            # Dependence check (inlined _deps_ready), with compaction: a
+            # satisfied token can never become unsatisfied again (done_at
+            # and r_time are written once per object, ``now`` only grows),
+            # so the dep list is dropped the first cycle everything is
+            # ready and later rescans skip straight to the structural
+            # checks.  A blocked instruction leaves the scan entirely
+            # instead of being rescanned every cycle: when the first
+            # blocking token's time is already known it parks on the timed
+            # heap until that cycle; when the producer has not issued yet
+            # (done_at still None) it sleeps on the producer's ``waiters``
+            # list and is moved to the heap the moment the producer's
+            # completion time is set.  Either way it rejoins the scan — in
+            # seq order — exactly at the first cycle the original
+            # every-cycle rescan could have advanced past that token, so
+            # the elided rescans are unobservable.
+            deps = fl.deps
+            if deps:
+                blocked_t = 0
+                blocked_dep = None
+                for dep in deps:
+                    if dep is None:
+                        continue
+                    if type(dep) is tuple:
+                        t = dep[0].r_time[dep[1]]
+                    else:
+                        t = dep.done_at
+                    if t is None or t > now:
+                        blocked_t = t
+                        blocked_dep = dep
+                        break
+                if blocked_dep is not None:
+                    if blocked_t is not None:
+                        heappush(parked, (blocked_t, fl.seq, fl))
+                    elif type(blocked_dep) is tuple:
+                        # Unscheduled vector element: no wake hook; rescan.
+                        keep(fl)
+                    else:
+                        w = blocked_dep.waiters
+                        if w is None:
+                            blocked_dep.waiters = [fl]
+                        else:
+                            w.append(fl)
+                    continue
+                fl.deps = []
+            if fl.static_ready > now:
+                keep(fl)
                 continue
             kind = fl.kind
-            if kind in (K_VALIDATION, K_TRIGGER):
-                if not self._deps_ready(fl, now):
-                    still_waiting.append(fl)
-                    continue
-                if not engine.validation_check(fl):
+            if kind >= K_VALIDATION:  # K_VALIDATION or K_TRIGGER
+                # Inlined engine.validation_check: element still live and
+                # (for loads) predicted address matches the actual one —
+                # the address comparison was precomputed at dispatch.
+                vreg = fl.vreg
+                if vreg.freed or vreg.defunct or fl.pred_mismatch:
                     # Misspeculation: recover to scalar from this instruction.
                     engine.on_validation_failure(fl, now)
                     flush_seq = fl.seq
                     continue
-                if fl.vreg.elem_done(fl.velem, now):
-                    fl.done_at = now + 1
+                t = vreg.r_time[fl.velem]  # inlined vreg.elem_done
+                if t is not None:
+                    if t <= now:
+                        fl.done_at = now + 1
+                    else:
+                        # The completion time is known and r_time is
+                        # write-once while this op is in flight (its U flag
+                        # pins the register against freeing/recycling), so
+                        # the op cannot become ready before cycle ``t``.
+                        # It can only *fail* early via a defunct flip, and
+                        # both defunct writers already wake it: a store-
+                        # coherence conflict flushes everything younger
+                        # than the committing store (which includes every
+                        # parked op), and a validation failure drains the
+                        # park heap below.  Parking is therefore exact.
+                        heappush(parked, (t, fl.seq, fl))
                 else:
-                    still_waiting.append(fl)
-                continue
-
-            if not self._deps_ready(fl, now):
-                still_waiting.append(fl)
+                    keep(fl)
                 continue
 
             if kind == K_STORE:
@@ -328,61 +470,103 @@ class Machine:
 
             if kind == K_LOAD:
                 if issues_left <= 0:
-                    still_waiting.append(fl)
+                    keep(fl)
                     continue
-                status = self._try_load(fl, now)
+                status = try_load(fl, now)
                 if status == "wait":
-                    still_waiting.append(fl)
+                    keep(fl)
                 else:
                     issues_left -= 1
                 continue
 
             # Scalar ALU / control / nop.
-            if fl.fu_class is FuClass.NONE:
+            fu_class = fl.fu_class
+            if fu_class is FuClass.NONE:
                 fl.done_at = now + 1
             else:
                 if issues_left <= 0:
-                    still_waiting.append(fl)
+                    keep(fl)
                     continue
-                if not self._acquire_fu(fl.fu_class, now):
-                    still_waiting.append(fl)
+                if not acquire_fu(fu_class, now):
+                    keep(fl)
                     continue
                 issues_left -= 1
-                fl.done_at = now + FU_LATENCY[fl.fu_class]
+                fl.done_at = now + fu_latency[fu_class]
+            # Only scalar ALU ops and scalar loads ever appear as "S"
+            # producers in the rename map, so only they can hold sleepers
+            # (loads wake from _try_load/_schedule_memory instead).
+            if fl.waiters is not None:
+                self._wake_waiters(fl)
             if fl.mispredicted and not fl.redirected:
                 fl.redirected = True
-                self.stats.branch_mispredicts += 1
+                stats.branch_mispredicts += 1
                 resolve = fl.done_at
                 self.fetch_unit.redirect(
-                    fl.seq + 1, resolve + self.config.mispredict_penalty
+                    fl.seq + 1, resolve + self._mispredict_penalty
                 )
                 self.cfi_windows.append((fl.seq, resolve))
 
+        if flush_seq is not None and parked:
+            # The failure defuncted a register; any parked op — in
+            # particular an *older* validation of the same register — must
+            # be rescanned so it notices the flip on the next cycle, just
+            # as an unparked entry would.  (Younger ones are flushed below.)
+            still_waiting.extend(e[2] for e in parked)
+            del parked[:]
+            still_waiting.sort(key=_SEQ_KEY)
         self.waiting = still_waiting
         if flush_seq is not None:
-            self._flush_from(flush_seq, now + 1 + self.config.mispredict_penalty, now)
-        self._schedule_memory(now)
+            self._flush_from(flush_seq, now + 1 + self._mispredict_penalty, now)
+        if self.mem_queue or (engine is not None and engine.pending_fetches):
+            self._schedule_memory(now)
+
+    def _wake_waiters(self, fl: InFlight) -> None:
+        """``fl``'s completion time just became known: move its sleepers to
+        the timed park heap so they rejoin the execute scan at that cycle.
+        Entries squashed while asleep are dropped (their re-fetched
+        incarnations re-register themselves)."""
+        done = fl.done_at
+        parked = self._parked
+        for c in fl.waiters:
+            if not c.squashed:
+                heappush(parked, (done, c.seq, c))
+        fl.waiters = None
 
     def _try_load(self, fl: InFlight, now: int) -> str:
         """Disambiguate a ready load; returns 'wait', 'forwarded' or 'queued'."""
         # All older stores must have known addresses (their base dep ready).
         my_addr = fl.addr
+        my_seq = fl.seq
         forwarding_store: Optional[InFlight] = None
         for other in self.lsq:
-            if other.seq >= fl.seq:
+            if other.seq >= my_seq:
                 break
             if other.kind != K_STORE:
                 continue
-            t = self._dep_time(other.base_dep)
+            dep = other.base_dep  # inlined _dep_time
+            if dep is None:
+                t = 0
+            elif type(dep) is tuple:
+                t = dep[0].r_time[dep[1]]
+            else:
+                t = dep.done_at
             if t is None or t + 1 > now:
                 return "wait"
             if other.addr == my_addr:
                 forwarding_store = other  # youngest older match wins
         if forwarding_store is not None:
-            t = self._dep_time(forwarding_store.data_dep)
+            dep = forwarding_store.data_dep
+            if dep is None:
+                t = 0
+            elif type(dep) is tuple:
+                t = dep[0].r_time[dep[1]]
+            else:
+                t = dep.done_at
             if t is None or t > now:
                 return "wait"
             fl.done_at = now + 1
+            if fl.waiters is not None:
+                self._wake_waiters(fl)
             self.stats.forwarded_loads += 1
             return "forwarded"
         self.mem_queue.append(fl)
@@ -395,7 +579,10 @@ class Machine:
         ports = self.ports
         if ports.available() == 0:
             return
-        if not self.config.wide_bus:
+        engine = self.engine
+        if not self.mem_queue and (engine is None or not engine.pending_fetches):
+            return
+        if not self._wide_bus:
             # Scalar buses: one word per port per transaction.
             remaining: List[InFlight] = []
             queue = self.mem_queue
@@ -413,14 +600,17 @@ class Machine:
                 self.stats.read_accesses += 1
                 self.stats.scalar_loads_to_memory += 1
                 fl.done_at = ready
+                if fl.waiters is not None:
+                    self._wake_waiters(fl)
             self.mem_queue = remaining
             return
 
         # Wide bus: group pending reads by line; one access serves up to 4.
-        line_bytes = self.config.hierarchy.l1d_line
+        line_bytes = self._line_bytes
+        mem_queue = self.mem_queue
         groups: List[Tuple[int, List]] = []
         index: Dict[int, int] = {}
-        for fl in self.mem_queue:
+        for fl in mem_queue:
             line = fl.addr - (fl.addr % line_bytes)
             gi = index.get(line)
             if gi is not None and len(groups[gi][1]) < 4:
@@ -428,7 +618,6 @@ class Machine:
             else:
                 index[line] = len(groups)
                 groups.append((line, [("scalar", fl)]))
-        engine = self.engine
         taken_fetches = []
         if engine is not None:
             # Up to one line group per free port, four elements per group.
@@ -456,13 +645,18 @@ class Machine:
             ports.take()
             txn = ports.open_read()
             self.stats.read_accesses += 1
-            scalar_words = set()
+            scalar_words = None
             spec_words = 0
             for tag, payload in members:
                 if tag == "scalar":
                     fl = payload
                     fl.done_at = ready
-                    scalar_words.add(fl.addr)
+                    if fl.waiters is not None:
+                        self._wake_waiters(fl)
+                    if scalar_words is None:
+                        scalar_words = {fl.addr}
+                    else:
+                        scalar_words.add(fl.addr)
                     served_scalar.add(id(fl))
                     self.stats.scalar_loads_to_memory += 1
                 else:
@@ -477,35 +671,169 @@ class Machine:
             if spec_words:
                 ports.add_speculative(txn, spec_words)
 
-        self.mem_queue = [fl for fl in self.mem_queue if id(fl) not in served_scalar]
-        if engine is not None:
-            unserved = [
-                item for item in taken_fetches if (id(item[0]), item[1]) not in served_vector
-            ]
-            engine.requeue_fetches(unserved)
+        if served_scalar:
+            self.mem_queue = [fl for fl in mem_queue if id(fl) not in served_scalar]
+        if taken_fetches:
+            if served_vector:
+                engine.requeue_fetches(
+                    [
+                        item
+                        for item in taken_fetches
+                        if (id(item[0]), item[1]) not in served_vector
+                    ]
+                )
+            else:
+                engine.requeue_fetches(taken_fetches)
 
     # ==================================================================
     # dispatch
     # ==================================================================
 
     def _dispatch(self, now: int) -> None:
+        """Rename and insert up to ``width`` fetched instructions into the
+        window.  The per-instruction body (the old ``_dispatch_one``) is
+        inlined into the loop: it runs once per simulated instruction and
+        the call overhead was measurable."""
         dispatched = 0
         engine = self.engine
-        config = self.config
-        while self.fetch_queue and dispatched < config.width:
-            fi = self.fetch_queue[0]
+        width = self._width
+        rob_size = self._rob_size
+        lsq_size = self._lsq_size
+        fetch_queue = self.fetch_queue
+        rob = self.rob
+        lsq = self.lsq
+        waiting = self.waiting
+        stats = self.stats
+        rename = self.rename
+        # The config-flag and opcode-class guards of
+        # _blocked_on_scalar_operand are evaluated inline so the common
+        # case (non-vectorizable op, or the feature disabled) costs no call.
+        block_scalar = engine is not None and self._block_scalar_operand
+        max_seq = self._max_dispatched_seq
+        ready_at = now + 1
+        while fetch_queue and dispatched < width:
+            fi = fetch_queue[0]
             entry = fi.entry
-            if len(self.rob) >= config.rob_size:
+            op = entry.op
+            if len(rob) >= rob_size:
                 break
-            is_mem = entry.is_load or entry.is_store
-            if is_mem and len(self.lsq) >= config.lsq_size:
+            if op in _MEM_OPS and len(lsq) >= lsq_size:
                 break
-            if engine is not None and self._blocked_on_scalar_operand(entry, now):
-                self.stats.scalar_operand_stall_cycles += 1
+            is_valu = op in VECTORIZABLE_ALU_OPS
+            if (
+                block_scalar
+                and is_valu
+                and self._blocked_on_scalar_operand(entry, now)
+            ):
+                stats.scalar_operand_stall_cycles += 1
                 break
-            self.fetch_queue.popleft()
-            self._dispatch_one(fi, now)
+            fetch_queue.popleft()
             dispatched += 1
+
+            seq = entry.seq
+            first_time = seq > max_seq
+            if first_time:
+                max_seq = seq
+                self._max_dispatched_seq = seq
+            is_load = op in _LOAD_OPS
+
+            decision = None
+            if engine is not None:
+                if is_load:
+                    decision = engine.decode_load(entry, now, first_time)
+                elif is_valu and entry.rd != NO_REG:
+                    decision = engine.decode_alu(entry, self._src_descs(entry), now)
+
+            if decision is not None and decision.kind is not DecodeKind.SCALAR:
+                kind = (
+                    K_VALIDATION
+                    if decision.kind is DecodeKind.VALIDATION
+                    else K_TRIGGER
+                )
+                fl = InFlight(seq, entry, kind)
+                fl.vreg = decision.reg
+                fl.velem = decision.elem
+                pred = decision.pred_addr
+                fl.pred_addr = pred
+                fl.pred_mismatch = pred is not None and pred != entry.addr
+                fl.counts_as_validation = decision.counts_as_validation
+                fl.vrmt_rollback = decision.vrmt_rollback
+                fl.static_ready = ready_at
+                if is_load:
+                    # The address check needs the base register (AGU).
+                    fl.deps.append(self._dep_of_reg(entry.rs1))
+                self._set_rename(fl, entry.rd, ("V", decision.reg, decision.elem))
+                rob.append(fl)
+                waiting.append(fl)
+                continue
+
+            # A scalar decision may still have touched the VRMT (entry
+            # invalidated or chain attempt failed); its rollback data is
+            # attached below.  The dependence-token reads inline
+            # _dep_of_reg (hot path).
+            if is_load:
+                fl = InFlight(seq, entry, K_LOAD)
+                fl.fu_class = FuClass.MEM
+                src = entry.rs1
+                if src == ZERO_REG:
+                    dep = None
+                else:
+                    ref = rename.get(src, _READY)
+                    dep = (ref[1], ref[2]) if ref[0] == "V" else ref[1]
+                fl.base_dep = dep
+                fl.deps.append(dep)
+                rd = entry.rd
+                if rd != NO_REG and rd != ZERO_REG:  # inlined _set_rename
+                    fl.saved_renames.append((rd, rename.get(rd, _READY)))
+                    rename[rd] = ("S", fl)
+                lsq.append(fl)
+            elif op in _STORE_OPS:
+                fl = InFlight(seq, entry, K_STORE)
+                fl.fu_class = FuClass.MEM
+                src = entry.rs1
+                if src == ZERO_REG:
+                    base = None
+                else:
+                    ref = rename.get(src, _READY)
+                    base = (ref[1], ref[2]) if ref[0] == "V" else ref[1]
+                src = entry.rs2
+                if src == ZERO_REG:
+                    data = None
+                else:
+                    ref = rename.get(src, _READY)
+                    data = (ref[1], ref[2]) if ref[0] == "V" else ref[1]
+                fl.base_dep = base
+                fl.data_dep = data
+                fl.deps.append(base)
+                fl.deps.append(data)
+                lsq.append(fl)
+            else:
+                fl = InFlight(seq, entry, K_SCALAR)
+                fl.fu_class = (
+                    FuClass.NONE
+                    if (op is Opcode.NOP or op is Opcode.HALT)
+                    else fu_class_of(op)
+                )
+                deps = fl.deps
+                src = entry.rs1
+                if src != NO_REG and src != ZERO_REG:
+                    ref = rename.get(src, _READY)
+                    deps.append((ref[1], ref[2]) if ref[0] == "V" else ref[1])
+                src = entry.rs2
+                if src != NO_REG and src != ZERO_REG:
+                    ref = rename.get(src, _READY)
+                    deps.append((ref[1], ref[2]) if ref[0] == "V" else ref[1])
+                rd = entry.rd
+                if rd != NO_REG and rd != ZERO_REG:  # inlined _set_rename
+                    fl.saved_renames.append((rd, rename.get(rd, _READY)))
+                    rename[rd] = ("S", fl)
+            if decision is not None:
+                fl.vrmt_rollback = decision.vrmt_rollback
+            fl.static_ready = ready_at
+            fl.mispredicted = fi.mispredicted
+            rob.append(fl)
+            waiting.append(fl)
+        stats.fetched += dispatched
 
     def _blocked_on_scalar_operand(self, entry: TraceEntry, now: int) -> bool:
         """§3.2 / Fig 7: an instruction that *was previously vectorized*
@@ -513,11 +841,10 @@ class Machine:
         value against the VRMT's captured value before it can be turned
         into a validation — so it waits at decode until the value is
         available.  Fresh vector instances do not stall: the vector FU
-        reads the scalar register file once, when it is ready (§3.4)."""
-        if not self.config.vector.block_on_scalar_operand:
-            return False
-        if entry.op not in VECTORIZABLE_ALU_OPS:
-            return False
+        reads the scalar register file once, when it is ready (§3.4).
+
+        Callers pre-check ``self._block_scalar_operand`` and membership in
+        ``VECTORIZABLE_ALU_OPS`` (dispatch hot path)."""
         mapping = self.engine.vrmt.table.peek(entry.pc)
         if mapping is None or mapping.scalar_value is None:
             return False
@@ -531,103 +858,32 @@ class Machine:
                     return True
         return False
 
-    def _dispatch_one(self, fi: FetchedInstr, now: int) -> None:
-        entry = fi.entry
-        seq = entry.seq
-        first_time = seq > self._max_dispatched_seq
-        if first_time:
-            self._max_dispatched_seq = seq
-        op = entry.op
-        engine = self.engine
+    def _src_descs(self, entry: TraceEntry) -> List[Tuple]:
+        """Source descriptors for the engine's ALU decode (see decode_alu).
 
-        decision = None
-        if engine is not None:
-            if entry.is_load:
-                decision = engine.decode_load(entry, now, first_time)
-            elif op in VECTORIZABLE_ALU_OPS and entry.rd != NO_REG:
-                decision = engine.decode_alu(entry, self._src_descs(entry), now)
-
-        if decision is not None and decision.kind is not DecodeKind.SCALAR:
-            kind = (
-                K_VALIDATION if decision.kind is DecodeKind.VALIDATION else K_TRIGGER
-            )
-            fl = InFlight(seq, entry, kind)
-            fl.vreg = decision.reg
-            fl.velem = decision.elem
-            fl.pred_addr = decision.pred_addr
-            fl.counts_as_validation = decision.counts_as_validation
-            fl.vrmt_rollback = decision.vrmt_rollback
-            fl.static_ready = now + 1
-            if entry.is_load:
-                # The address check needs the base register (AGU).
-                fl.deps.append(self._dep_of_ref(self._rename_ref(entry.rs1)))
-            self._set_rename(fl, entry.rd, ("V", decision.reg, decision.elem))
-            self.rob.append(fl)
-            self.waiting.append(fl)
-            self.stats.fetched += 1
-            return
-
-        if decision is not None and decision.vrmt_rollback is not None:
-            # Scalar decision that still touched the VRMT (entry invalidated
-            # or chain attempt failed): keep rollback data on the entry.
-            pass
-
-        if entry.is_load:
-            fl = InFlight(seq, entry, K_LOAD)
-            fl.fu_class = FuClass.MEM
-            fl.base_dep = self._dep_of_ref(self._rename_ref(entry.rs1))
-            fl.deps.append(fl.base_dep)
-            self._set_rename(fl, entry.rd, ("S", fl))
-            self.lsq.append(fl)
-        elif entry.is_store:
-            fl = InFlight(seq, entry, K_STORE)
-            fl.fu_class = FuClass.MEM
-            fl.base_dep = self._dep_of_ref(self._rename_ref(entry.rs1))
-            fl.data_dep = self._dep_of_ref(self._rename_ref(entry.rs2))
-            fl.deps.append(fl.base_dep)
-            fl.deps.append(fl.data_dep)
-            self.lsq.append(fl)
-        else:
-            fl = InFlight(seq, entry, K_SCALAR)
-            fl.fu_class = (
-                FuClass.NONE if op in (Opcode.NOP, Opcode.HALT) else fu_class_of(op)
-            )
-            for src in (entry.rs1, entry.rs2):
-                if src != NO_REG:
-                    fl.deps.append(self._dep_of_ref(self._rename_ref(src)))
-            if entry.rd != NO_REG:
-                self._set_rename(fl, entry.rd, ("S", fl))
-        if decision is not None:
-            fl.vrmt_rollback = decision.vrmt_rollback
-        fl.static_ready = now + 1
-        fl.mispredicted = fi.mispredicted
-        self.rob.append(fl)
-        self.waiting.append(fl)
-        self.stats.fetched += 1
-
-    def _src_descs(self, entry: TraceEntry) -> Tuple[Tuple, ...]:
-        """Source descriptors for the engine's ALU decode (see decode_alu)."""
-        descs = []
-        values = (entry.s1, entry.s2)
-        for i, src in enumerate((entry.rs1, entry.rs2)):
-            if src == NO_REG:
-                continue
-            ref = self._rename_ref(src)
+        Returns a list (not a tuple): the engine only iterates it, and the
+        decode path runs once per arithmetic instruction."""
+        rename = self.rename
+        descs: List[Tuple] = []
+        src = entry.rs1
+        if src != NO_REG:
+            ref = _READY if src == ZERO_REG else rename.get(src, _READY)
             if ref[0] == "V":
                 descs.append(("V", ref[1], ref[2]))
             else:
-                descs.append(("S", src, values[i]))
-        # Immediate-operand forms carry the immediate as the final operand.
-        if entry.rs2 == NO_REG and entry.op not in (
-            Opcode.FNEG,
-            Opcode.FABS,
-            Opcode.FMOV,
-            Opcode.FSQRT,
-            Opcode.ITOF,
-            Opcode.FTOI,
-        ):
-            descs.append(("imm", entry.imm))
-        return tuple(descs)
+                descs.append(("S", src, entry.s1))
+        src = entry.rs2
+        if src == NO_REG:
+            # Immediate-operand forms carry the immediate as the final operand.
+            if entry.op not in _NO_IMM_OPS:
+                descs.append(("imm", entry.imm))
+        else:
+            ref = _READY if src == ZERO_REG else rename.get(src, _READY)
+            if ref[0] == "V":
+                descs.append(("V", ref[1], ref[2]))
+            else:
+                descs.append(("S", src, entry.s2))
+        return descs
 
     def _set_rename(self, fl: InFlight, logical: int, ref: Tuple) -> None:
         if logical == NO_REG or logical == ZERO_REG:
@@ -646,12 +902,18 @@ class Machine:
         engine = self.engine
         while self.rob and self.rob[-1].seq >= from_seq:
             fl = self.rob.pop()
+            # A squashed entry may still sit on a surviving producer's
+            # waiters list; the flag keeps it from being re-woken.
+            fl.squashed = True
             for logical, old in reversed(fl.saved_renames):
                 self.rename[logical] = old
             if engine is not None:
                 engine.on_flush_entry(fl, now)
         self.lsq = [fl for fl in self.lsq if fl.seq < from_seq]
         self.waiting = [fl for fl in self.waiting if fl.seq < from_seq]
+        if self._parked:
+            self._parked = [e for e in self._parked if e[1] < from_seq]
+            heapify(self._parked)
         self.mem_queue = [fl for fl in self.mem_queue if fl.seq < from_seq]
         self.fetch_queue.clear()
         self.fetch_unit.redirect(from_seq, resume_cycle)
@@ -661,17 +923,36 @@ class Machine:
     # ==================================================================
 
     def step(self, now: int) -> None:
-        """Simulate one cycle (commit -> execute/memory -> dispatch -> fetch)."""
-        self.ports.begin_cycle()
-        if self.engine is not None:
-            self.engine.tick(now)
-        self._commit(now)
-        self._execute(now)
-        self._dispatch(now)
-        room = self.config.fetch_queue_size - len(self.fetch_queue)
+        """Simulate one cycle (commit -> execute/memory -> dispatch -> fetch).
+
+        Stages whose structures are provably idle this cycle are skipped
+        outright (an empty ROB cannot commit, an empty waiting list cannot
+        issue, ...); each guard reproduces the stage's own first-iteration
+        exit condition, so elided and executed cycles are indistinguishable.
+        """
+        # Inlined ports.begin_cycle() — one call per simulated cycle.
+        ports = self.ports
+        ports.cycles += 1
+        ports._used_this_cycle = 0
+        engine = self.engine
+        if engine is not None and engine.pending_alu:
+            engine.tick(now)
+        rob = self.rob
+        if rob:
+            t = rob[0].done_at
+            if t is not None and t <= now:
+                self._commit(now)
+        if self.waiting or self._parked:
+            self._execute(now)
+        elif self.mem_queue or (engine is not None and engine.pending_fetches):
+            self._schedule_memory(now)
+        if self.fetch_queue:
+            self._dispatch(now)
+        fetch_queue = self.fetch_queue
+        room = self._fetch_queue_size - len(fetch_queue)
         if room > 0:
             for fi in self.fetch_unit.fetch_cycle_group(now, room):
-                self.fetch_queue.append(fi)
+                fetch_queue.append(fi)
 
     def run(self) -> SimStats:
         """Simulate until the whole trace has committed; returns stats."""
@@ -681,14 +962,25 @@ class Machine:
             return stats
         now = 0
         safety = 2000 + 600 * total
-        while self.committed_count < total:
-            self.step(now)
-            now += 1
-            if now > safety:
-                raise RuntimeError(
-                    f"simulation wedged: {self.committed_count}/{total} committed "
-                    f"after {now} cycles"
-                )
+        step = self.step
+        # The loop allocates heavily (InFlight, dep tuples) but creates no
+        # reference cycles worth collecting mid-run; pausing the cyclic GC
+        # saves its generation-0 scans.  Restore the caller's setting after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while self.committed_count < total:
+                step(now)
+                now += 1
+                if now > safety:
+                    raise RuntimeError(
+                        f"simulation wedged: {self.committed_count}/{total} "
+                        f"committed after {now} cycles"
+                    )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         stats.cycles = now
         if self.engine is not None:
             self.engine.finalize(now)

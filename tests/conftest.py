@@ -10,6 +10,27 @@ from repro.pipeline import make_config
 from repro.pipeline.machine import Machine
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    """Point the persistent result cache at a throwaway directory.
+
+    Tests must neither read a developer's warm ``~/.cache/repro`` (stale
+    entries could mask regressions the suite should catch) nor pollute it
+    with tiny-scale entries.  The in-process memo is left alone — tests
+    rely on it for speed.
+    """
+    import os
+
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def asm_trace(text: str, max_instructions: int = 200_000):
     """Assemble + functionally execute a test program."""
     return run_program(assemble(text), max_instructions=max_instructions)

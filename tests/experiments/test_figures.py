@@ -37,9 +37,23 @@ def test_grid_constants():
 
 
 def test_run_point_memoized():
+    from repro.experiments import runner
+
+    before = runner.simulations_run()
     a = run_point("li", 4, 1, "V", SCALE)
+    after_first = runner.simulations_run()
     b = run_point("li", 4, 1, "V", SCALE)
-    assert a is b
+    # The second call is a memo hit (no new simulation) ...
+    assert runner.simulations_run() == after_first >= before
+    assert a == b
+    # ... but callers get private copies: mutating one result must not
+    # leak into the memo or into other callers.
+    assert a is not b
+    a.committed += 1
+    a.usefulness["poison"] = 1
+    c = run_point("li", 4, 1, "V", SCALE)
+    assert c == b
+    assert "poison" not in c.usefulness
 
 
 def test_fig01_rows_are_distributions():

@@ -1,0 +1,90 @@
+"""Serial / parallel / cached equivalence of the experiment fabric.
+
+The parallel grid runner and the disk cache are pure plumbing: the paper's
+numbers must be a function of the grid coordinates alone, never of which
+execution path produced them.  These tests pin that contract at tiny scale
+(``jobs=2`` with two points keeps the pool small enough for CI).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import diskcache, runner
+from repro.experiments.parallel import GridPoint, GridReport, resolve_jobs, run_grid
+
+SCALE = 1_500
+
+POINTS = [
+    GridPoint("li", 4, 1, "V", SCALE),
+    GridPoint("li", 4, 1, "noIM", SCALE),
+    GridPoint("compress", 4, 1, "V", SCALE),
+]
+
+
+@pytest.fixture
+def fresh_state(tmp_path, monkeypatch):
+    """Cold memo + private, enabled disk cache for one test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    runner.clear_memo()
+    yield tmp_path / "cache"
+    runner.clear_memo()
+
+
+def _fingerprint(stats):
+    return dataclasses.asdict(stats)
+
+
+def test_resolve_jobs_precedence(monkeypatch):
+    assert resolve_jobs(3) == 3
+    monkeypatch.setenv("REPRO_JOBS", "5")
+    assert resolve_jobs() == 5
+    assert resolve_jobs(2) == 2  # explicit argument beats the env
+    monkeypatch.setenv("REPRO_JOBS", "junk")
+    with pytest.raises(ValueError):
+        resolve_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert resolve_jobs() == 1  # floored at one worker
+
+
+def test_serial_parallel_and_cached_results_identical(fresh_state):
+    # Serial reference (jobs=1 never spawns a pool).
+    serial = run_grid(POINTS, jobs=1)
+    reference = {p: _fingerprint(s) for p, s in serial.items()}
+
+    # Parallel from a cold memo but warm disk: all disk hits.
+    runner.clear_memo()
+    report = GridReport()
+    warm = run_grid(POINTS, jobs=2, report=report)
+    assert report.simulated == 0
+    assert report.disk_hits == len(POINTS)
+    assert {p: _fingerprint(s) for p, s in warm.items()} == reference
+
+    # Parallel fully cold: clear both layers, re-simulate through the pool.
+    runner.clear_memo()
+    diskcache.clear_cache()
+    report = GridReport()
+    cold = run_grid(POINTS, jobs=2, report=report)
+    assert report.simulated == len(POINTS)
+    assert {p: _fingerprint(s) for p, s in cold.items()} == reference
+
+
+def test_memo_hits_skip_everything(fresh_state):
+    run_grid(POINTS, jobs=1)
+    report = GridReport()
+    again = run_grid(POINTS + POINTS, jobs=1, report=report)
+    assert report.requested == 2 * len(POINTS)
+    assert report.unique == len(POINTS)
+    assert report.memo_hits == len(POINTS)
+    assert report.simulated == 0 and report.disk_hits == 0
+    assert set(again) == set(POINTS)
+
+
+def test_run_point_agrees_with_grid(fresh_state):
+    point = POINTS[0]
+    grid_stats = run_grid([point], jobs=1)[point]
+    direct = runner.run_point(*point)
+    assert _fingerprint(direct) == _fingerprint(grid_stats)
