@@ -6,6 +6,20 @@ per CPU-second (KIPS) for one representative scalar-mode run and one
 V-mode run.  Results are written machine-readably to ``BENCH_perf.json``
 at the repository root so successive PRs can track the trend.
 
+Two sections:
+
+* **exact** — the cycle model's raw throughput on the 12k experiment
+  scale (the PR-1 hot-loop trajectory);
+* **sampled** — the sampled-simulation subsystem at 10x that scale:
+  effective KIPS, speedup over an exact run of the same trace, and the
+  IPC estimation error it costs (see docs/PERFORMANCE.md for the
+  accuracy story).
+
+``--check`` turns the harness into a regression guard for CI: it
+re-measures the exact points and fails (exit 1) if the fresh
+``min_speedup`` falls more than ``--tolerance`` (default 25%, CI hosts
+are noisy) below the value recorded in ``BENCH_perf.json``.
+
 Timing uses :func:`time.process_time` (CPU time), not wall clock: the
 simulator is single-threaded and allocation-bound, so CPU time measures
 exactly the work the optimization targets, while wall clock on shared /
@@ -27,6 +41,7 @@ result caching.
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import sys
@@ -38,6 +53,7 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.pipeline.config import make_config  # noqa: E402
 from repro.pipeline.machine import Machine  # noqa: E402
+from repro.sampling import SamplingConfig, run_sampled  # noqa: E402
 from repro.workloads.spec95 import cached_trace  # noqa: E402
 
 #: dynamic instructions per timed run.
@@ -50,6 +66,20 @@ POINTS = {
 }
 #: best-of repetitions per configuration.
 ROUNDS = 5
+
+#: sampled-mode section: 10x the exact scale, default sampling geometry.
+SAMPLED_SCALE = 120_000
+#: best-of repetitions for the (much longer) sampled/exact 120k runs.
+SAMPLED_ROUNDS = 2
+#: sampled points use benchmarks from the accuracy-pinned set
+#: (tests/sampling/test_accuracy.py) so the recorded ipc_error tracks the
+#: subsystem's representative behaviour; the suite-wide error table —
+#: outliers included — lives in docs/PERFORMANCE.md.
+SAMPLED_POINTS = {
+    "scalar_noIM": ("m88ksim", 4, 1, "noIM"),
+    "scalar_IM": ("m88ksim", 4, 1, "IM"),
+    "vector_V": ("swim", 4, 1, "V"),
+}
 
 #: KIPS measured on the pre-optimization code (recorded in the same PR
 #: that added the hot-loop work; see docs/PERFORMANCE.md).  Median of
@@ -78,7 +108,45 @@ def measure_point(name: str, width: int, ports: int, mode: str, scale: int = SCA
     return best
 
 
-def run_benchmark() -> dict:
+def measure_sampled_point(
+    name: str,
+    width: int,
+    ports: int,
+    mode: str,
+    scale: int = SAMPLED_SCALE,
+    sampling: SamplingConfig | None = None,
+    rounds: int = SAMPLED_ROUNDS,
+) -> dict:
+    """Sampled-vs-exact comparison for one point at large scale.
+
+    Returns effective sampled KIPS (committed instructions *estimated*,
+    i.e. the full trace, over the sampled run's CPU time), the exact
+    run's KIPS on the same trace, their ratio, and the IPC estimation
+    error.  Checkpoints are off so the speedup reflects cold warming.
+    """
+    sampling = sampling or SamplingConfig()
+    trace = cached_trace(name, scale)
+    config = make_config(width, ports, mode)
+    t0 = time.process_time()
+    exact = Machine(config, trace).run()
+    exact_elapsed = time.process_time() - t0
+    best = 0.0
+    sampled = None
+    for _ in range(rounds):
+        t0 = time.process_time()
+        sampled = run_sampled(make_config(width, ports, mode), trace, sampling)
+        elapsed = time.process_time() - t0
+        best = max(best, sampled.committed / 1000.0 / elapsed)
+    exact_kips = exact.committed / 1000.0 / exact_elapsed
+    return {
+        "kips": round(best, 2),
+        "exact_kips": round(exact_kips, 2),
+        "speedup": round(best / exact_kips, 2),
+        "ipc_error": round(sampled.ipc / exact.ipc - 1.0, 4),
+    }
+
+
+def run_benchmark(include_sampled: bool = True) -> dict:
     """Measure every point and assemble the BENCH_perf.json payload."""
     current = {
         label: round(measure_point(*point), 2) for label, point in POINTS.items()
@@ -86,7 +154,7 @@ def run_benchmark() -> dict:
     speedup = {
         label: round(current[label] / BASELINE_KIPS[label], 3) for label in POINTS
     }
-    return {
+    payload = {
         "unit": "KIPS (thousand simulated instructions / second)",
         "scale": SCALE,
         "rounds": ROUNDS,
@@ -95,9 +163,56 @@ def run_benchmark() -> dict:
         "speedup": speedup,
         "min_speedup": min(speedup.values()),
     }
+    if include_sampled:
+        defaults = SamplingConfig()
+        points = {
+            label: measure_sampled_point(*point)
+            for label, point in SAMPLED_POINTS.items()
+        }
+        payload["sampled"] = {
+            "scale": SAMPLED_SCALE,
+            "window": defaults.window,
+            "interval": defaults.interval,
+            "points": points,
+            "min_speedup": min(p["speedup"] for p in points.values()),
+            "max_abs_ipc_error": max(abs(p["ipc_error"]) for p in points.values()),
+        }
+    return payload
 
 
-def main() -> int:
+def check_regression(tolerance: float) -> int:
+    """CI guard: fail when throughput regresses below the recorded floor."""
+    recorded = json.loads(RESULT_PATH.read_text())
+    floor = recorded["min_speedup"] * (1.0 - tolerance)
+    fresh = run_benchmark(include_sampled=False)
+    print(json.dumps(fresh, indent=2))
+    print(
+        f"min_speedup: fresh {fresh['min_speedup']:.3f} vs recorded "
+        f"{recorded['min_speedup']:.3f} (floor {floor:.3f})"
+    )
+    if fresh["min_speedup"] < floor:
+        print("FAIL: simulator throughput regressed below the recorded floor")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regression guard: compare fresh min_speedup against BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below the recorded min_speedup (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check_regression(args.tolerance)
     payload = run_benchmark()
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
@@ -109,6 +224,16 @@ def test_perf_benchmark_runs():
     here — wall-clock assertions do not belong in correctness CI)."""
     kips = measure_point("compress", 4, 1, "noIM", scale=2_500)
     assert kips > 0
+
+
+def test_sampled_harness_runs():
+    """Smoke: the sampled section measures at a tiny scale too."""
+    result = measure_sampled_point(
+        "compress", 4, 1, "noIM",
+        scale=6_000, sampling=SamplingConfig(window=200, interval=1000), rounds=1,
+    )
+    assert result["kips"] > 0
+    assert abs(result["ipc_error"]) < 1.0
 
 
 if __name__ == "__main__":

@@ -2,16 +2,23 @@
 
 Commands:
 
-* ``figures [--scale N] [--only figNN ...] [--jobs J]`` — regenerate the
-  paper's figures and print their tables; the grid points behind the
-  selected figures are collected up front and fanned out over a process
-  pool (see :mod:`repro.experiments.parallel`);
-* ``headline [--scale N] [--jobs J]`` — measure the paper's headline
-  claims, same batched execution;
-* ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]`` —
-  simulate one benchmark on one configuration and print the stat summary;
+* ``figures [--scale N] [--sampled] [--only figNN ...] [--jobs J]`` —
+  regenerate the paper's figures and print their tables; the grid points
+  behind the selected figures are collected up front and fanned out over
+  a process pool (see :mod:`repro.experiments.parallel`);
+* ``headline [--scale N] [--sampled] [--jobs J]`` — measure the paper's
+  headline claims, same batched execution;
+* ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]
+  [--sampled]`` — simulate one benchmark on one configuration and print
+  the stat summary;
 * ``cache {info,clear}`` — inspect or drop the persistent result cache;
 * ``list`` — list the available benchmarks.
+
+``--sampled`` switches the simulations to sampled mode (functional
+warming + detailed windows, see :mod:`repro.sampling`), which is how the
+grid stays affordable at ``--scale`` values 10-100x the exact default;
+``--window``/``--interval`` override the sampling parameters (and imply
+``--sampled``).  Exact simulation remains the default.
 """
 
 from __future__ import annotations
@@ -24,10 +31,11 @@ from .experiments import diskcache
 from .experiments import figures as _figures
 from .experiments.parallel import GridReport, run_grid
 from .experiments.runner import EXPERIMENT_SCALE, run_point
+from .sampling import SamplingConfig
 from .workloads import ALL_BENCHMARKS, SPEC_FP, SPEC_INT
 
-#: figure name -> (callable(scale) -> rows, title, callable(scale) -> points);
-#: fig11/12 take a width, bound here.
+#: figure name -> (callable(scale, sampling) -> rows, title,
+#: callable(scale, sampling) -> points); fig11/12 take a width, bound here.
 FIGURE_RUNNERS = {
     "fig01": (
         _figures.fig01_stride_distribution,
@@ -55,24 +63,24 @@ FIGURE_RUNNERS = {
         _figures.fig10_points,
     ),
     "fig11_4way": (
-        lambda s: _figures.fig11_ipc(4, s),
+        lambda s, smp: _figures.fig11_ipc(4, s, smp),
         "Figure 11: IPC, 4-way",
-        lambda s: _figures.fig11_points(4, s),
+        lambda s, smp: _figures.fig11_points(4, s, smp),
     ),
     "fig11_8way": (
-        lambda s: _figures.fig11_ipc(8, s),
+        lambda s, smp: _figures.fig11_ipc(8, s, smp),
         "Figure 11: IPC, 8-way",
-        lambda s: _figures.fig11_points(8, s),
+        lambda s, smp: _figures.fig11_points(8, s, smp),
     ),
     "fig12_4way": (
-        lambda s: _figures.fig12_port_occupancy(4, s),
+        lambda s, smp: _figures.fig12_port_occupancy(4, s, smp),
         "Figure 12: occupancy, 4-way",
-        lambda s: _figures.fig12_points(4, s),
+        lambda s, smp: _figures.fig12_points(4, s, smp),
     ),
     "fig12_8way": (
-        lambda s: _figures.fig12_port_occupancy(8, s),
+        lambda s, smp: _figures.fig12_port_occupancy(8, s, smp),
         "Figure 12: occupancy, 8-way",
-        lambda s: _figures.fig12_points(8, s),
+        lambda s, smp: _figures.fig12_points(8, s, smp),
     ),
     "fig13": (
         _figures.fig13_wide_bus,
@@ -99,32 +107,49 @@ def _print_rows(title: str, rows) -> None:
     print(format_table(headers, suite_rows(rows, SPEC_INT, SPEC_FP)))
 
 
+def _sampling_from_args(args: argparse.Namespace) -> SamplingConfig | None:
+    """Build the SamplingConfig the flags ask for (None = exact mode)."""
+    if not (args.sampled or args.window or args.interval):
+        return None
+    defaults = SamplingConfig()
+    interval = args.interval or defaults.interval
+    window = args.window
+    if window is None:
+        # Keep the default 10% duty cycle when only the interval shrinks.
+        window = min(defaults.window, max(1, interval // 10))
+    return SamplingConfig(window=window, interval=interval)
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     names = args.only or list(FIGURE_RUNNERS)
     for name in names:
         if name not in FIGURE_RUNNERS:
             print(f"unknown figure {name!r}; known: {', '.join(FIGURE_RUNNERS)}")
             return 2
+    sampling = _sampling_from_args(args)
     # Collect every simulation point the selected figures need, then fan
     # the whole batch out at once; the figure functions afterwards run
     # entirely from the in-process memo.
     points = []
     for name in names:
-        points.extend(FIGURE_RUNNERS[name][2](args.scale))
+        points.extend(FIGURE_RUNNERS[name][2](args.scale, sampling))
     report = GridReport()
     run_grid(points, jobs=args.jobs, report=report)
     print(report.summary())
     for name in names:
         runner, title, _points_fn = FIGURE_RUNNERS[name]
-        _print_rows(title, runner(args.scale))
+        _print_rows(title, runner(args.scale, sampling))
     return 0
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
+    sampling = _sampling_from_args(args)
     report = GridReport()
-    run_grid(_figures.headline_points(args.scale), jobs=args.jobs, report=report)
+    run_grid(
+        _figures.headline_points(args.scale, sampling), jobs=args.jobs, report=report
+    )
     print(report.summary())
-    claims = _figures.headline_claims(args.scale)
+    claims = _figures.headline_claims(args.scale, sampling)
     rows = [[key, f"{value:+.1%}"] for key, value in claims.items()]
     print(format_table(["claim", "measured"], rows))
     return 0
@@ -134,7 +159,14 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.benchmark not in ALL_BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}; try: {', '.join(ALL_BENCHMARKS)}")
         return 2
-    stats = run_point(args.benchmark, args.width, args.ports, args.mode, args.scale)
+    stats = run_point(
+        args.benchmark,
+        args.width,
+        args.ports,
+        args.mode,
+        args.scale,
+        sampling=_sampling_from_args(args),
+    )
     print(stats.summary())
     return 0
 
@@ -144,11 +176,20 @@ def cmd_cache(args: argparse.Namespace) -> int:
         info = diskcache.cache_info()
         print(f"root:    {info['root']}")
         print(f"enabled: {info['enabled']}")
-        for label, key in (("stats", "stats"), ("traces", "trace")):
+        sections = (
+            ("stats", "stats"),
+            ("traces", "trace"),
+            ("checkpoints", "checkpoint"),
+        )
+        for label, key in sections:
             print(
-                f"{label + ':':<9}{info[f'{key}_entries']} entries, "
+                f"{label + ':':<13}{info[f'{key}_entries']} entries, "
                 f"{info[f'{key}_bytes']} bytes"
             )
+        print(
+            f"{'total:':<13}{info['total_entries']} entries, "
+            f"{info['total_bytes']} bytes"
+        )
     else:  # clear
         removed = diskcache.clear_cache()
         print(f"removed {removed} cache entries")
@@ -159,6 +200,28 @@ def cmd_list(_args: argparse.Namespace) -> int:
     print("SpecInt95-like:", ", ".join(SPEC_INT))
     print("SpecFP95-like: ", ", ".join(SPEC_FP))
     return 0
+
+
+def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sampled",
+        action="store_true",
+        help="sampled simulation: functional warming + detailed windows",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="W",
+        help="detailed-window length in trace entries (implies --sampled)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        metavar="I",
+        help="sampling interval in trace entries (implies --sampled)",
+    )
 
 
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
@@ -181,11 +244,13 @@ def main(argv=None) -> int:
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
     p.add_argument("--only", nargs="*", metavar="FIG", help="subset, e.g. fig14")
+    _add_sampling_arguments(p)
     _add_jobs_argument(p)
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser("headline", help="measure the paper's headline claims")
     p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    _add_sampling_arguments(p)
     _add_jobs_argument(p)
     p.set_defaults(fn=cmd_headline)
 
@@ -195,6 +260,7 @@ def main(argv=None) -> int:
     p.add_argument("--ports", type=int, default=1, choices=(1, 2, 4))
     p.add_argument("--mode", default="V", choices=("noIM", "IM", "V"))
     p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    _add_sampling_arguments(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")

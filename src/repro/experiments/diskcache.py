@@ -7,9 +7,14 @@ replayable: a (benchmark, scale, seed, machine-configuration) point plus
 the simulator sources determines its :class:`~repro.pipeline.stats.SimStats`
 bit for bit.  This module caches both layers on disk:
 
-* **stats/** — one JSON file per simulated grid point;
+* **stats/** — one JSON file per simulated grid point (exact or sampled;
+  sampled keys carry the sampling parameters);
 * **traces/** — one serialized functional trace per (benchmark, scale,
-  seed), in the :mod:`repro.functional.traceio` format.
+  seed), in the :mod:`repro.functional.traceio` format;
+* **checkpoints/** — warmed microarchitectural state (cache contents,
+  predictor tables, architectural memory) at sampled-window boundaries,
+  written by :mod:`repro.sampling` so re-runs and pool workers
+  fast-forward to a window instead of re-streaming the warmer.
 
 Keying — entries self-invalidate when anything that could change the
 result changes:
@@ -57,7 +62,8 @@ from ..pipeline.stats import SimStats
 CACHE_FORMAT = 1
 
 #: source groups hashed into cache keys.  Trace results depend only on
-#: the functional subset; stats depend on everything.
+#: the functional subset; stats depend on everything; sampled results and
+#: checkpoints additionally depend on the sampling subsystem.
 _TRACE_SOURCE_PACKAGES = ("isa", "functional", "workloads")
 _STATS_SOURCE_PACKAGES = _TRACE_SOURCE_PACKAGES + (
     "frontend",
@@ -65,12 +71,22 @@ _STATS_SOURCE_PACKAGES = _TRACE_SOURCE_PACKAGES + (
     "core",
     "pipeline",
 )
+_SAMPLING_SOURCE_PACKAGES = _STATS_SOURCE_PACKAGES + ("sampling",)
 
 
 class CacheCounters:
     """Process-wide cache accounting (reset per CLI invocation)."""
 
-    __slots__ = ("stats_hits", "stats_misses", "stats_stores", "trace_hits", "trace_misses")
+    __slots__ = (
+        "stats_hits",
+        "stats_misses",
+        "stats_stores",
+        "trace_hits",
+        "trace_misses",
+        "checkpoint_hits",
+        "checkpoint_misses",
+        "checkpoint_stores",
+    )
 
     def __init__(self) -> None:
         self.reset()
@@ -81,6 +97,9 @@ class CacheCounters:
         self.stats_stores = 0
         self.trace_hits = 0
         self.trace_misses = 0
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        self.checkpoint_stores = 0
 
 
 COUNTERS = CacheCounters()
@@ -116,6 +135,10 @@ def _traces_dir() -> pathlib.Path:
     return cache_root() / "traces"
 
 
+def _checkpoints_dir() -> pathlib.Path:
+    return cache_root() / "checkpoints"
+
+
 # ---------------------------------------------------------------------------
 # Source digests
 # ---------------------------------------------------------------------------
@@ -139,12 +162,17 @@ _DIGEST_MEMO: Dict[tuple, str] = {}
 
 
 def source_digest(kind: str = "stats") -> str:
-    """Digest of the simulator sources feeding ``kind`` ("stats"/"trace").
+    """Digest of the sources feeding ``kind`` ("stats"/"trace"/"sampling").
 
     Computed once per process; editing any hashed file between processes
     changes the digest and thereby every cache key.
     """
-    packages = _STATS_SOURCE_PACKAGES if kind == "stats" else _TRACE_SOURCE_PACKAGES
+    if kind == "sampling":
+        packages = _SAMPLING_SOURCE_PACKAGES
+    elif kind == "stats":
+        packages = _STATS_SOURCE_PACKAGES
+    else:
+        packages = _TRACE_SOURCE_PACKAGES
     memo = _DIGEST_MEMO.get(packages)
     if memo is None:
         memo = _DIGEST_MEMO[packages] = _digest_packages(packages)
@@ -161,8 +189,20 @@ def config_fingerprint(config: MachineConfig) -> Dict:
     return dataclasses.asdict(config)
 
 
-def stats_key(name: str, scale: int, seed: int, config: MachineConfig) -> str:
-    """Content-hash key for one simulated grid point."""
+def stats_key(
+    name: str,
+    scale: int,
+    seed: int,
+    config: MachineConfig,
+    sampling: Optional[Dict] = None,
+) -> str:
+    """Content-hash key for one simulated grid point.
+
+    ``sampling`` is None for an exact run, or the sampling-parameter
+    fingerprint (window/interval) for a sampled one — sampled and exact
+    results at the same coordinates never share an entry, and sampled
+    entries additionally hash the sampling subsystem's sources.
+    """
     payload = {
         "format": CACHE_FORMAT,
         "kind": "stats",
@@ -170,7 +210,8 @@ def stats_key(name: str, scale: int, seed: int, config: MachineConfig) -> str:
         "scale": scale,
         "seed": seed,
         "config": config_fingerprint(config),
-        "source": source_digest("stats"),
+        "sampling": sampling,
+        "source": source_digest("sampling" if sampling else "stats"),
     }
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -299,38 +340,126 @@ def store_trace(key: str, trace: Trace) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Checkpoint entries (warmed state at sampled-window boundaries)
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_key(
+    name: str,
+    scale: int,
+    seed: int,
+    position: int,
+    config: MachineConfig,
+    sampling: Dict,
+) -> str:
+    """Content-hash key for warmed state at trace position ``position``.
+
+    The state at a window boundary is a pure function of the trace
+    coordinates, the *full* machine configuration (earlier detailed
+    windows shape cache LRU order), the sampling parameters (they place
+    the earlier windows) and the simulator + sampling sources.
+    """
+    payload = {
+        "format": CACHE_FORMAT,
+        "kind": "checkpoint",
+        "benchmark": name,
+        "scale": scale,
+        "seed": seed,
+        "position": position,
+        "config": config_fingerprint(config),
+        "sampling": sampling,
+        "source": source_digest("sampling"),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load_checkpoint(key: str) -> Optional[Dict]:
+    """The warmed-state payload for ``key``, or None on miss/corruption."""
+    if not cache_enabled():
+        return None
+    path = _checkpoints_dir() / f"{key}.ckpt"
+    try:
+        header_line, body_line = path.read_text().splitlines()[:2]
+        header = json.loads(header_line)
+        if header.get("format") != CACHE_FORMAT:
+            raise ValueError("format mismatch")
+        payload = traceio.unpack_json(body_line)
+        if not isinstance(payload, dict):
+            raise ValueError("checkpoint body is not an object")
+    except FileNotFoundError:
+        COUNTERS.checkpoint_misses += 1
+        return None
+    except (ValueError, KeyError, TypeError, OSError):
+        COUNTERS.checkpoint_misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    COUNTERS.checkpoint_hits += 1
+    return payload
+
+
+def store_checkpoint(key: str, payload: Dict) -> None:
+    """Persist warmed state (compressed, atomic; no-op when disabled)."""
+    if not cache_enabled():
+        return
+    text = json.dumps({"format": CACHE_FORMAT}) + "\n" + traceio.pack_json(payload) + "\n"
+    _atomic_write(_checkpoints_dir() / f"{key}.ckpt", text)
+    COUNTERS.checkpoint_stores += 1
+
+
+# ---------------------------------------------------------------------------
 # Maintenance (the ``python -m repro cache`` subcommand)
 # ---------------------------------------------------------------------------
 
 
+#: section name -> (directory fn, payload suffixes).
+_SECTIONS = {
+    "stats": (_stats_dir, (".json",)),
+    "trace": (_traces_dir, (".jsonl",)),
+    "checkpoint": (_checkpoints_dir, (".ckpt",)),
+}
+
+
 def cache_info() -> Dict:
-    """Entry counts and byte totals per layer, for ``cache info``."""
+    """Per-section entry counts and byte totals, for ``cache info``.
+
+    Flat ``<section>_entries`` / ``<section>_bytes`` keys per section
+    (stats / trace / checkpoint) plus grand totals.
+    """
     info = {
         "root": str(cache_root()),
         "enabled": cache_enabled(),
-        "stats_entries": 0,
-        "stats_bytes": 0,
-        "trace_entries": 0,
-        "trace_bytes": 0,
+        "total_entries": 0,
+        "total_bytes": 0,
     }
-    for kind, directory in (("stats", _stats_dir()), ("trace", _traces_dir())):
-        if not directory.is_dir():
-            continue
-        for path in directory.iterdir():
-            if path.suffix in (".json", ".jsonl"):
-                info[f"{kind}_entries"] += 1
-                info[f"{kind}_bytes"] += path.stat().st_size
+    for kind, (directory_fn, suffixes) in _SECTIONS.items():
+        entries = 0
+        size = 0
+        directory = directory_fn()
+        if directory.is_dir():
+            for path in directory.iterdir():
+                if path.suffix in suffixes:
+                    entries += 1
+                    size += path.stat().st_size
+        info[f"{kind}_entries"] = entries
+        info[f"{kind}_bytes"] = size
+        info["total_entries"] += entries
+        info["total_bytes"] += size
     return info
 
 
 def clear_cache() -> int:
     """Delete every cache entry; returns the number of files removed."""
     removed = 0
-    for directory in (_stats_dir(), _traces_dir()):
+    for directory_fn, suffixes in _SECTIONS.values():
+        directory = directory_fn()
         if not directory.is_dir():
             continue
         for path in directory.iterdir():
-            if path.suffix in (".json", ".jsonl", ".tmp"):
+            if path.suffix in suffixes + (".tmp",):
                 try:
                     path.unlink()
                     removed += 1

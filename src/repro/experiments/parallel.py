@@ -33,14 +33,19 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from ..pipeline.stats import SimStats
 from . import diskcache, runner
 
 
 class GridPoint(NamedTuple):
-    """One coordinate of the experiment grid (hashable, pool-picklable)."""
+    """One coordinate of the experiment grid (hashable, pool-picklable).
+
+    ``sampling`` is None for an exact run or a ``(window, interval)``
+    tuple for a sampled one — the same tail coordinate
+    :data:`runner.PointKey` carries.
+    """
 
     name: str
     width: int = 4
@@ -48,6 +53,7 @@ class GridPoint(NamedTuple):
     mode: str = "V"
     scale: int = runner.EXPERIMENT_SCALE
     block_on_scalar_operand: bool = True
+    sampling: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -139,7 +145,16 @@ def run_grid(
         config = runner.point_config(
             point.width, point.ports, point.mode, point.block_on_scalar_operand
         )
-        cached = diskcache.load_stats(diskcache.stats_key(point.name, point.scale, 0, config))
+        sampling = runner.sampling_from_key(point.sampling)
+        cached = diskcache.load_stats(
+            diskcache.stats_key(
+                point.name,
+                point.scale,
+                0,
+                config,
+                sampling.fingerprint() if sampling is not None else None,
+            )
+        )
         if cached is not None:
             runner.prime_memo(tuple(point), cached)
             results[point] = cached

@@ -26,11 +26,12 @@ For whole-grid fan-out over a process pool, see
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..pipeline.config import MachineConfig, make_config
 from ..pipeline.machine import Machine
 from ..pipeline.stats import SimStats
+from ..sampling import SamplingConfig, run_sampled
 from ..workloads.spec95 import cached_trace
 from . import diskcache
 
@@ -43,8 +44,11 @@ EXPERIMENT_SCALE = 12_000
 PORT_COUNTS = (1, 2, 4)
 MODES = ("noIM", "IM", "V")
 
-#: grid coordinates -> master SimStats (the in-process memo layer).
-PointKey = Tuple[str, int, int, str, int, bool]
+#: grid coordinates -> master SimStats (the in-process memo layer).  The
+#: last coordinate is ``None`` for an exact run or a
+#: ``SamplingConfig.key`` tuple — ``(window, interval)`` — for a sampled
+#: one, so exact and sampled results never collide.
+PointKey = Tuple[str, int, int, str, int, bool, Optional[Tuple[int, int]]]
 _MEMO: Dict[PointKey, SimStats] = {}
 
 #: simulations actually executed by this process (memo/disk misses).
@@ -65,6 +69,15 @@ def _copy_stats(stats: SimStats) -> SimStats:
     return replace(stats, usefulness=dict(stats.usefulness))
 
 
+def sampling_from_key(
+    sampling_key: Optional[Tuple[int, int]]
+) -> Optional[SamplingConfig]:
+    """Rebuild the :class:`SamplingConfig` a :data:`PointKey` tail names."""
+    if sampling_key is None:
+        return None
+    return SamplingConfig(window=sampling_key[0], interval=sampling_key[1])
+
+
 def run_point(
     name: str,
     width: int = 4,
@@ -72,14 +85,32 @@ def run_point(
     mode: str = "V",
     scale: int = EXPERIMENT_SCALE,
     block_on_scalar_operand: bool = True,
+    sampling: Optional[SamplingConfig] = None,
+    sampled: bool = False,
 ) -> SimStats:
     """Simulate benchmark ``name`` on one machine-configuration point.
+
+    ``sampled=True`` switches the point to sampled simulation under the
+    default :class:`SamplingConfig`; pass ``sampling`` explicitly to
+    control window/interval (either alone is enough).  Exact remains the
+    default and its results are untouched by sampled runs (separate
+    memo/disk keys).
 
     Results are memoized in-process and persisted to the on-disk cache;
     every call returns a fresh :class:`SimStats` copy, so mutating a
     returned object never affects other callers.
     """
-    key = (name, width, ports, mode, scale, block_on_scalar_operand)
+    if sampled and sampling is None:
+        sampling = SamplingConfig()
+    key = (
+        name,
+        width,
+        ports,
+        mode,
+        scale,
+        block_on_scalar_operand,
+        sampling.key if sampling is not None else None,
+    )
     stats = _MEMO.get(key)
     if stats is None:
         stats = _MEMO[key] = compute_point(key)
@@ -93,13 +124,23 @@ def compute_point(key: PointKey) -> SimStats:
     in-process memo on purpose (the callers own that layer).
     """
     global _SIMULATIONS_RUN
-    name, width, ports, mode, scale, block_on_scalar_operand = key
+    name, width, ports, mode, scale, block_on_scalar_operand, sampling_key = key
     config = point_config(width, ports, mode, block_on_scalar_operand)
-    disk_key = diskcache.stats_key(name, scale, 0, config)
+    sampling = sampling_from_key(sampling_key)
+    fingerprint = sampling.fingerprint() if sampling is not None else None
+    disk_key = diskcache.stats_key(name, scale, 0, config, fingerprint)
     stats = diskcache.load_stats(disk_key)
     if stats is None:
         trace = cached_trace(name, scale)
-        stats = Machine(config, trace).run()
+        if sampling is not None:
+            stats = run_sampled(
+                config,
+                trace,
+                sampling,
+                checkpoint_scope={"benchmark": name, "scale": scale, "seed": 0},
+            )
+        else:
+            stats = Machine(config, trace).run()
         _SIMULATIONS_RUN += 1
         diskcache.store_stats(
             disk_key,
@@ -111,6 +152,7 @@ def compute_point(key: PointKey) -> SimStats:
                 "mode": mode,
                 "scale": scale,
                 "block_on_scalar_operand": block_on_scalar_operand,
+                "sampling": fingerprint,
             },
         )
     return stats

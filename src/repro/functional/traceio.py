@@ -1,35 +1,44 @@
-"""Trace serialization: save/load dynamic traces as JSON-lines.
+"""Trace serialization: save/load dynamic traces.
 
 The timing model is trace-driven, so a serialized trace is a complete,
 self-contained simulation input — useful for regression fixtures (pin a
 trace, assert cycle counts), for sharing a misbehaving workload without
 its generator, and for offline analysis in other tools.
 
-Format: one JSON object per line.
+Format 3 (current, written by default) is packed and compressed — trace
+files dominate disk-cache size once experiment scales grow 10×:
 
-* line 1 — header: format version, entry count, halted flag, program
-  listing length;
-* line 2 — the initial memory image (address -> value map);
-* line 3 — final register state;
-* following lines — one per :class:`~repro.functional.trace.TraceEntry`,
-  as a compact positional array.
+* line 1 — plain-JSON header: format version, entry count, halted flag,
+  program listing length, backward-branch PCs;
+* line 2 — one Base85 line holding the zlib-compressed JSON *body*:
+  initial memory image, final register state, and the trace entries as
+  thirteen parallel per-field columns (columnar layout compresses far
+  better than row-major: every column is near-constant or slowly
+  varying).
 
-Floats round-trip exactly (JSON numbers are IEEE doubles, the same type
-the simulator computes with).  The :class:`~repro.isa.program.Program`
-itself is *not* serialized — a loaded trace carries a stub program that
-supports exactly what the timing model needs (``is_backward`` per PC and
-``len``).  Format 2 records the backward-branch PCs explicitly in the
-header, so a loaded trace reproduces ``is_backward`` — and therefore
-every GMRBB-dependent timing statistic — bit-for-bit; format 1 files
-(no ``backward`` field) reconstruct control-flow direction from the
-observed dynamic transfers, which is lossy for branches whose last
-dynamic instance fell through.
+Formats 1 and 2 (legacy, row-major JSON-lines: header, memory, registers,
+then one positional array per entry) remain fully readable, and
+:func:`dump_trace` can still emit format 2 for interoperability.
+
+Floats round-trip exactly in every format (JSON numbers are IEEE doubles,
+the same type the simulator computes with, and zlib compression is
+lossless).  The :class:`~repro.isa.program.Program` itself is *not*
+serialized — a loaded trace carries a stub program that supports exactly
+what the timing model needs (``is_backward`` per PC and ``len``).
+Formats 2+ record the backward-branch PCs explicitly in the header, so a
+loaded trace reproduces ``is_backward`` — and therefore every
+GMRBB-dependent timing statistic — bit-for-bit; format 1 files (no
+``backward`` field) reconstruct control-flow direction from the observed
+dynamic transfers, which is lossy for branches whose last dynamic
+instance fell through.
 """
 
 from __future__ import annotations
 
+import base64
 import io
 import json
+import zlib
 from typing import IO, List, Union
 
 from ..isa.instruction import Instruction
@@ -38,27 +47,83 @@ from ..isa.program import Program
 from .memory import MemoryImage
 from .trace import Trace, TraceEntry
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: versions :func:`load_trace` understands.
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
+
+#: versions :func:`dump_trace` can emit (3 = packed, 2 = legacy JSON-lines).
+_WRITABLE_VERSIONS = (2, 3)
+
+
+def pack_json(obj) -> str:
+    """Compress a JSON-able object into one newline-free Base85 line.
+
+    Shared by trace format 3 and the disk cache's checkpoint section: the
+    payload stays a *text* line (safe for line-oriented files and atomic
+    text writes) while costing a fraction of plain JSON on disk.
+    """
+    raw = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    return base64.b85encode(zlib.compress(raw, 6)).decode("ascii")
+
+
+def unpack_json(text: str):
+    """Inverse of :func:`pack_json`; raises ValueError on corrupt input."""
+    try:
+        raw = zlib.decompress(base64.b85decode(text.strip().encode("ascii")))
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, zlib.error, UnicodeDecodeError) as exc:
+        raise ValueError(f"corrupt packed payload: {exc}") from exc
 
 
 class TraceFormatError(Exception):
     """Raised when a stream does not hold a valid serialized trace."""
 
 
-def dump_trace(trace: Trace, stream: IO[str]) -> None:
-    """Serialize ``trace`` to a text stream (JSON lines)."""
+#: TraceEntry fields in column order (format 3 body and legacy row order).
+_ENTRY_FIELDS = (
+    "seq", "pc", "op", "rd", "rs1", "rs2", "imm",
+    "s1", "s2", "value", "addr", "taken", "next_pc",
+)
+
+
+def _header(trace: Trace, version: int) -> dict:
     program = trace.program
-    header = {
-        "format": FORMAT_VERSION,
+    return {
+        "format": version,
         "entries": len(trace.entries),
         "halted": trace.halted,
         "program_len": len(program),
         "backward": [pc for pc in range(len(program)) if program.is_backward(pc)],
     }
-    stream.write(json.dumps(header) + "\n")
+
+
+def dump_trace(trace: Trace, stream: IO[str], version: int = FORMAT_VERSION) -> None:
+    """Serialize ``trace`` to a text stream.
+
+    ``version`` selects the on-disk format: 3 (default) is the packed
+    columnar format, 2 the legacy JSON-lines layout.
+    """
+    if version not in _WRITABLE_VERSIONS:
+        raise ValueError(f"cannot write format {version!r}; writable: {_WRITABLE_VERSIONS}")
+    stream.write(json.dumps(_header(trace, version)) + "\n")
+    if version >= 3:
+        columns = [[] for _ in _ENTRY_FIELDS]
+        for e in trace.entries:
+            row = (
+                e.seq, e.pc, int(e.op), e.rd, e.rs1, e.rs2, e.imm,
+                e.s1, e.s2, e.value, e.addr, 1 if e.taken else 0, e.next_pc,
+            )
+            for col, value in zip(columns, row):
+                col.append(value)
+        body = {
+            "memory": {str(addr): value for addr, value in trace.initial_memory.items()},
+            "int": trace.final_int_regs,
+            "fp": trace.final_fp_regs,
+            "cols": columns,
+        }
+        stream.write(pack_json(body) + "\n")
+        return
     stream.write(
         json.dumps({str(addr): value for addr, value in trace.initial_memory.items()})
         + "\n"
@@ -92,10 +157,10 @@ def dump_trace(trace: Trace, stream: IO[str]) -> None:
         )
 
 
-def dumps_trace(trace: Trace) -> str:
+def dumps_trace(trace: Trace, version: int = FORMAT_VERSION) -> str:
     """Serialize ``trace`` to a string."""
     buf = io.StringIO()
-    dump_trace(trace, buf)
+    dump_trace(trace, buf, version=version)
     return buf.getvalue()
 
 
@@ -139,31 +204,64 @@ def load_trace(stream: IO[str]) -> Trace:
     version = header.get("format")
     if version not in _READABLE_VERSIONS:
         raise TraceFormatError(f"unsupported format {version!r}")
-    memory_line = json.loads(stream.readline())
-    regs_line = json.loads(stream.readline())
-    initial = MemoryImage({int(addr): value for addr, value in memory_line.items()})
     entries: List[TraceEntry] = []
-    for _ in range(header["entries"]):
-        row = json.loads(stream.readline())
-        if len(row) != 13:
-            raise TraceFormatError(f"bad entry row of length {len(row)}")
-        entries.append(
-            TraceEntry(
-                seq=row[0],
-                pc=row[1],
-                op=Opcode(row[2]),
-                rd=row[3],
-                rs1=row[4],
-                rs2=row[5],
-                imm=row[6],
-                s1=row[7],
-                s2=row[8],
-                value=row[9],
-                addr=row[10],
-                taken=bool(row[11]),
-                next_pc=row[12],
+    if version >= 3:
+        try:
+            body = unpack_json(stream.readline())
+            memory_line = body["memory"]
+            regs_line = {"int": body["int"], "fp": body["fp"]}
+            cols = body["cols"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TraceFormatError(f"bad packed body: {exc}") from exc
+        if len(cols) != len(_ENTRY_FIELDS) or any(
+            len(col) != header["entries"] for col in cols
+        ):
+            raise TraceFormatError("bad column block")
+        (seqs, pcs, ops, rds, rs1s, rs2s, imms,
+         s1s, s2s, values, addrs, takens, next_pcs) = cols
+        for i in range(header["entries"]):
+            entries.append(
+                TraceEntry(
+                    seq=seqs[i],
+                    pc=pcs[i],
+                    op=Opcode(ops[i]),
+                    rd=rds[i],
+                    rs1=rs1s[i],
+                    rs2=rs2s[i],
+                    imm=imms[i],
+                    s1=s1s[i],
+                    s2=s2s[i],
+                    value=values[i],
+                    addr=addrs[i],
+                    taken=bool(takens[i]),
+                    next_pc=next_pcs[i],
+                )
             )
-        )
+    else:
+        memory_line = json.loads(stream.readline())
+        regs_line = json.loads(stream.readline())
+        for _ in range(header["entries"]):
+            row = json.loads(stream.readline())
+            if len(row) != 13:
+                raise TraceFormatError(f"bad entry row of length {len(row)}")
+            entries.append(
+                TraceEntry(
+                    seq=row[0],
+                    pc=row[1],
+                    op=Opcode(row[2]),
+                    rd=row[3],
+                    rs1=row[4],
+                    rs2=row[5],
+                    imm=row[6],
+                    s1=row[7],
+                    s2=row[8],
+                    value=row[9],
+                    addr=row[10],
+                    taken=bool(row[11]),
+                    next_pc=row[12],
+                )
+            )
+    initial = MemoryImage({int(addr): value for addr, value in memory_line.items()})
     # Rebuild the final memory by replaying stores over the initial image.
     final = initial.copy()
     for e in entries:

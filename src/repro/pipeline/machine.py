@@ -144,14 +144,28 @@ _SEQ_KEY = attrgetter("seq")
 class Machine:
     """One timing simulation of one trace under one configuration."""
 
-    def __init__(self, config: MachineConfig, trace: Trace) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        trace: Trace,
+        hierarchy: Optional[MemoryHierarchy] = None,
+        gshare=None,
+        indirect=None,
+    ) -> None:
         self.config = config
         self.trace = trace
         self.stats = SimStats()
-        self.hierarchy = MemoryHierarchy(config.hierarchy)
+        # Sampled simulation passes in a pre-warmed hierarchy and
+        # predictors (repro.sampling); exact mode builds them cold.
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(config.hierarchy)
         self.ports = DataPorts(config.ports, config.wide_bus)
         self.fetch_unit = FetchUnit(
-            trace, self.hierarchy, config.width, config.gshare_entries
+            trace,
+            self.hierarchy,
+            config.width,
+            config.gshare_entries,
+            gshare=gshare,
+            indirect=indirect,
         )
         #: architectural memory as of the last committed store — the image
         #: speculative vector loads read from.

@@ -1,0 +1,57 @@
+"""Warm-state checkpoints: snapshot/restore a :class:`WarmState`.
+
+A checkpoint captures everything :func:`~repro.sampling.warmer.warm_to`
+evolves — cache contents, predictor tables, architectural memory — as a
+JSON-serializable payload, which the disk cache's ``checkpoints/``
+section persists compressed (see
+:func:`repro.experiments.diskcache.store_checkpoint`).  A second sampled
+run of the same point restores each window's state instead of
+re-streaming the warmer; with every boundary checkpointed the run does
+zero warming work (``SimStats.warmed_entries == 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..functional.memory import MemoryImage
+from ..functional.trace import Trace
+from ..pipeline.config import MachineConfig
+from .vectorwarm import VectorWarm
+from .warmer import WarmState
+
+
+def snapshot_state(state: WarmState) -> Dict:
+    """Serialize ``state`` into a JSON-safe checkpoint payload."""
+    return {
+        "position": state.position,
+        "hierarchy": state.hierarchy.snapshot(),
+        "gshare": state.gshare.snapshot(),
+        "indirect": state.indirect.snapshot(),
+        "memory": {str(addr): value for addr, value in state.memory.items()},
+        # V configurations: the carried engine's full object graph.
+        "vector": state.vec.snapshot() if state.vec is not None else None,
+    }
+
+
+def restore_state(config: MachineConfig, trace: Trace, payload: Dict) -> WarmState:
+    """Rebuild a :class:`WarmState` from a checkpoint payload.
+
+    Raises ``ValueError``/``KeyError``/``IndexError`` when the payload
+    does not match this configuration's geometry (callers treat that as a
+    cache miss).
+    """
+    state = WarmState.cold(config, trace)
+    state.hierarchy.restore(payload["hierarchy"])
+    state.gshare.restore(payload["gshare"])
+    state.indirect.restore(payload["indirect"])
+    state.memory = MemoryImage(
+        {int(addr): value for addr, value in payload["memory"].items()}
+    )
+    vector = payload.get("vector")
+    if (vector is None) != (state.vec is None):
+        raise ValueError("checkpoint vector section does not match config.vectorize")
+    if vector is not None:
+        state.vec = VectorWarm.restore(config, vector)
+    state.position = payload["position"]
+    return state

@@ -1,0 +1,67 @@
+"""Sampled mode through the experiment plumbing: runner, pool, figures."""
+
+from repro.experiments import diskcache, runner
+from repro.experiments.parallel import GridPoint, GridReport, run_grid
+from repro.experiments.runner import run_point
+from repro.sampling import SamplingConfig, run_sampled
+from repro.workloads.spec95 import cached_trace
+
+SAMPLING = SamplingConfig(window=200, interval=1000)
+
+
+def test_run_point_sampled_flag_uses_default_config():
+    stats = run_point("li", scale=6000, sampled=True)
+    # Default interval (15k) exceeds the trace: a single detailed window.
+    assert stats.sampled_windows == 1
+
+
+def test_sampled_and_exact_points_do_not_collide():
+    exact = run_point("li", mode="noIM", scale=6000)
+    sampled = run_point("li", mode="noIM", scale=6000, sampling=SAMPLING)
+    assert exact.sampled_windows == 0
+    assert sampled.sampled_windows > 1
+    # Re-asking for the exact point still returns the exact result.
+    assert run_point("li", mode="noIM", scale=6000).sampled_windows == 0
+
+
+def test_run_point_matches_direct_run_sampled():
+    via_runner = run_point("compress", mode="V", scale=6000, sampling=SAMPLING)
+    direct = run_sampled(
+        runner.point_config(4, 1, "V"),
+        cached_trace("compress", 6000),
+        SAMPLING,
+        checkpoint_scope={"benchmark": "compress", "scale": 6000, "seed": 0},
+    )
+    a = diskcache.stats_to_dict(via_runner)
+    b = diskcache.stats_to_dict(direct)
+    # Checkpoint telemetry depends on who warmed the cache first; the
+    # simulation results themselves must be identical.
+    for field in ("warmed_entries", "checkpoint_restores"):
+        a.pop(field), b.pop(field)
+    assert a == b
+
+
+def test_grid_serial_and_parallel_agree_on_sampled_points():
+    points = [
+        GridPoint("li", 4, 1, mode, 6000, True, SAMPLING.key)
+        for mode in ("noIM", "IM", "V")
+    ]
+    serial = run_grid(points, jobs=1)
+    runner.clear_memo()
+    report = GridReport()
+    parallel = run_grid(points, jobs=2, report=report)
+    assert report.requested == 3
+    for point in points:
+        assert diskcache.stats_to_dict(serial[point]) == diskcache.stats_to_dict(
+            parallel[point]
+        )
+
+
+def test_figures_accept_sampling():
+    from repro.experiments import figures
+
+    rows = figures.fig14_validations(scale=6000, sampling=SAMPLING)
+    exact = figures.fig14_validations(scale=6000)
+    assert set(rows) == set(exact)
+    for name in rows:
+        assert 0.0 <= rows[name]["validations"] <= 1.0

@@ -79,8 +79,72 @@ def test_wrong_version_rejected():
 
 
 def test_bad_row_rejected(sum_loop):
-    text = dumps_trace(sum_loop)
+    text = dumps_trace(sum_loop, version=2)
     lines = text.splitlines()
     lines[3] = "[1, 2, 3]"  # malformed entry row
     with pytest.raises(TraceFormatError):
         loads_trace("\n".join(lines) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# packed format 3 vs legacy formats
+# ---------------------------------------------------------------------------
+
+
+def test_default_format_is_packed(sum_loop):
+    text = dumps_trace(sum_loop)
+    header = text.splitlines()[0]
+    assert '"format": 3' in header
+    assert len(text.splitlines()) == 2  # header + one packed body line
+
+
+def test_packed_format_is_smaller(sum_loop):
+    packed = dumps_trace(sum_loop)
+    legacy = dumps_trace(sum_loop, version=2)
+    assert len(packed) < len(legacy) / 4
+
+
+def test_legacy_format2_still_loads(sum_loop):
+    """Files written before the packed format stay readable (fallback)."""
+    legacy = loads_trace(dumps_trace(sum_loop, version=2))
+    packed = loads_trace(dumps_trace(sum_loop))
+    assert len(legacy.entries) == len(packed.entries)
+    for a, b in zip(legacy.entries, packed.entries):
+        assert (a.seq, a.pc, a.op, a.s1, a.s2, a.value, a.addr, a.taken) == (
+            b.seq, b.pc, b.op, b.s1, b.s2, b.value, b.addr, b.taken,
+        )
+    assert legacy.final_int_regs == packed.final_int_regs
+    assert legacy.final_fp_regs == packed.final_fp_regs
+    assert legacy.initial_memory == packed.initial_memory
+
+
+def test_unwritable_version_rejected(sum_loop):
+    with pytest.raises(ValueError):
+        dumps_trace(sum_loop, version=1)
+
+
+def test_corrupt_packed_body_rejected(sum_loop):
+    text = dumps_trace(sum_loop)
+    header, body = text.splitlines()
+    for poison in ("", "!!!not-base85-at-all~~~", body[: len(body) // 2]):
+        with pytest.raises(TraceFormatError):
+            loads_trace(header + "\n" + poison + "\n")
+
+
+def test_packed_floats_roundtrip_exactly():
+    trace = asm_trace(
+        """
+        .data
+        v: .word 0.1 2.5
+        .text
+        li r1, v
+        fld f1, 0(r1)
+        fld f2, 8(r1)
+        fadd f3, f1, f2
+        fst f3, 0(r1)
+        halt
+        """
+    )
+    loaded = loads_trace(dumps_trace(trace))
+    for a, b in zip(trace.entries, loaded.entries):
+        assert a.s1 == b.s1 and a.s2 == b.s2 and a.value == b.value

@@ -39,6 +39,35 @@ def test_headline(capsys):
     assert "int_validation_fraction" in out
 
 
+def test_run_sampled(capsys):
+    args = ["run", "li", "--scale", "3000", "--sampled", "--interval", "1000",
+            "--window", "200"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "IPC=" in out
+    assert "sampled: windows=" in out
+
+
+def test_window_interval_imply_sampled(capsys):
+    assert main(["run", "li", "--scale", "3000", "--interval", "1000"]) == 0
+    assert "sampled: windows=" in capsys.readouterr().out
+
+
+def test_figures_sampled(capsys):
+    args = ["figures", "--scale", "3000", "--only", "fig14", "--sampled",
+            "--interval", "1000", "--window", "200", "--jobs", "1"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "Figure 14" in out and "TOTAL" in out
+
+
+def test_cache_info_breaks_down_sections(capsys):
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    for section in ("stats:", "traces:", "checkpoints:", "total:"):
+        assert section in out
+
+
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])

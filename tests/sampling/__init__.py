@@ -1,0 +1,1 @@
+"""Sampled-simulation subsystem tests."""

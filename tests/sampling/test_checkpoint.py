@@ -1,0 +1,74 @@
+"""Warm-state checkpoints: snapshot/restore fidelity and geometry guards."""
+
+import pytest
+
+from repro.experiments.runner import point_config
+from repro.pipeline.config import make_config
+from repro.sampling import WarmState, warm_to
+from repro.sampling.checkpoint import restore_state, snapshot_state
+from repro.workloads.spec95 import cached_trace
+
+
+def _warm(config, trace, upto):
+    state = WarmState.cold(config, trace)
+    warm_to(state, trace, upto)
+    return state
+
+
+@pytest.mark.parametrize("mode", ["noIM", "V"])
+def test_snapshot_restore_roundtrip(mode):
+    config = point_config(4, 1, mode)
+    trace = cached_trace("li", 6000)
+    state = _warm(config, trace, 4000)
+    payload = snapshot_state(state)
+    restored = restore_state(config, trace, payload)
+    assert snapshot_state(restored) == payload
+    assert restored.position == 4000
+
+
+@pytest.mark.parametrize("mode", ["noIM", "V"])
+def test_restore_then_continue_equals_warm_through(mode):
+    # A restored state must be indistinguishable from one that streamed
+    # the whole prefix: warming both onward yields identical snapshots.
+    config = point_config(4, 1, mode)
+    trace = cached_trace("compress", 6000)  # halts at ~4.9k entries
+    upto = len(trace.entries) - 200
+    through = _warm(config, trace, upto)
+    restored = restore_state(
+        config, trace, snapshot_state(_warm(config, trace, 3000))
+    )
+    warm_to(restored, trace, upto)
+    payload_a, payload_b = snapshot_state(through), snapshot_state(restored)
+    assert payload_a == payload_b
+
+
+def test_payload_is_json_serializable():
+    import json
+
+    config = point_config(4, 1, "V")
+    trace = cached_trace("li", 6000)
+    payload = snapshot_state(_warm(config, trace, 2000))
+    rebuilt = json.loads(json.dumps(payload))
+    restored = restore_state(config, trace, rebuilt)
+    assert snapshot_state(restored) == payload
+
+
+def test_restore_rejects_vector_section_mismatch():
+    trace = cached_trace("li", 6000)
+    scalar, vector = point_config(4, 1, "noIM"), point_config(4, 1, "V")
+    scalar_payload = snapshot_state(_warm(scalar, trace, 2000))
+    vector_payload = snapshot_state(_warm(vector, trace, 2000))
+    with pytest.raises(ValueError):
+        restore_state(vector, trace, scalar_payload)
+    with pytest.raises(ValueError):
+        restore_state(scalar, trace, vector_payload)
+
+
+def test_restore_rejects_mismatched_cache_geometry():
+    trace = cached_trace("li", 6000)
+    config = point_config(4, 1, "noIM")
+    payload = snapshot_state(_warm(config, trace, 2000))
+    small = make_config(4, 1, "noIM")
+    small.hierarchy.l1d_size = 32 * 1024
+    with pytest.raises((ValueError, KeyError, IndexError)):
+        restore_state(small, trace, payload)
