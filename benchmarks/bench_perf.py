@@ -15,10 +15,20 @@ Two sections:
   IPC estimation error it costs (see docs/PERFORMANCE.md for the
   accuracy story).
 
+Plus a **profile** section: per-pipeline-stage wall-clock and
+simulated-cycle attribution for each exact point, collected by
+:class:`repro.observe.StageProfiler` (see docs/OBSERVABILITY.md).
+
 ``--check`` turns the harness into a regression guard for CI: it
 re-measures the exact points and fails (exit 1) if the fresh
 ``min_speedup`` falls more than ``--tolerance`` (default 25%, CI hosts
 are noisy) below the value recorded in ``BENCH_perf.json``.
+
+``--observe-check`` guards the observability layer's when-off cost: it
+A/B-measures each exact point plain vs with an empty
+:class:`repro.observe.Observer` in the same process and fails if the
+tracing-off run is more than ``--observe-tolerance`` (default 3%)
+slower.
 
 Timing uses :func:`time.process_time` (CPU time), not wall clock: the
 simulator is single-threaded and allocation-bound, so CPU time measures
@@ -51,6 +61,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.observe import Observer, StageProfiler  # noqa: E402
 from repro.pipeline.config import make_config  # noqa: E402
 from repro.pipeline.machine import Machine  # noqa: E402
 from repro.sampling import SamplingConfig, run_sampled  # noqa: E402
@@ -94,18 +105,48 @@ BASELINE_KIPS = {
 RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
 
 
-def measure_point(name: str, width: int, ports: int, mode: str, scale: int = SCALE) -> float:
-    """Best-of-``ROUNDS`` KIPS for one (benchmark, configuration) point."""
+def measure_point(
+    name: str,
+    width: int,
+    ports: int,
+    mode: str,
+    scale: int = SCALE,
+    observer: Observer | None = None,
+) -> float:
+    """Best-of-``ROUNDS`` KIPS for one (benchmark, configuration) point.
+
+    ``observer`` threads a :class:`repro.observe.Observer` into every
+    timed run — the ``--observe-check`` guard uses this to price the
+    observability layer's dormant cost.
+    """
     trace = cached_trace(name, scale)  # build outside the timed region
     best = 0.0
     for _ in range(ROUNDS):
         config = make_config(width, ports, mode)
-        machine = Machine(config, trace)
+        machine = Machine(config, trace, observer=observer)
         t0 = time.process_time()
         stats = machine.run()
         elapsed = time.process_time() - t0
         best = max(best, stats.committed / 1000.0 / elapsed)
     return best
+
+
+def profile_section() -> dict:
+    """Pipeline-stage attribution for the exact points (``profile`` key).
+
+    Each point runs once under a :class:`StageProfiler`: the payload
+    records which stage's Python is hot (``stage_wall_fraction``) and
+    which stages the simulated machine keeps busy
+    (``stage_cycle_fraction``).  Profiled runs are bit-identical to plain
+    ones, but slower — they are *not* the timed KIPS runs.
+    """
+    out = {}
+    for label, (name, width, ports, mode) in POINTS.items():
+        trace = cached_trace(name, SCALE)
+        observer = Observer(profiler=StageProfiler())
+        Machine(make_config(width, ports, mode), trace, observer=observer).run()
+        out[label] = observer.profiler.to_dict()
+    return out
 
 
 def measure_sampled_point(
@@ -177,7 +218,42 @@ def run_benchmark(include_sampled: bool = True) -> dict:
             "min_speedup": min(p["speedup"] for p in points.values()),
             "max_abs_ipc_error": max(abs(p["ipc_error"]) for p in points.values()),
         }
+        payload["profile"] = profile_section()
     return payload
+
+
+def observe_check(tolerance: float) -> int:
+    """CI guard: the *dormant* observability layer must cost (almost)
+    nothing.
+
+    Measures each exact point twice on this machine — once plain
+    (``observer=None``) and once with an empty :class:`Observer` (all
+    parts None, i.e. exactly what an instrumented-but-off run carries)
+    — and fails if the observed KIPS falls more than ``tolerance`` below
+    the plain KIPS on any point.  Same-process A/B keeps the guard
+    meaningful across CI hosts of different speeds, unlike comparing
+    against a recorded-on-another-machine number.
+    """
+    failed = False
+    for label, point in POINTS.items():
+        plain = measure_point(*point)
+        observed = measure_point(*point, observer=Observer())
+        ratio = observed / plain
+        status = "OK" if ratio >= 1.0 - tolerance else "FAIL"
+        if status == "FAIL":
+            failed = True
+        print(
+            f"{label}: plain {plain:.2f} KIPS, tracing-off {observed:.2f} KIPS "
+            f"({ratio:.1%}) {status}"
+        )
+    if failed:
+        print(
+            "FAIL: dormant observability overhead exceeds "
+            f"{tolerance:.0%} on at least one point"
+        )
+        return 1
+    print(f"OK: tracing-off throughput within {tolerance:.0%} of plain")
+    return 0
 
 
 def check_regression(tolerance: float) -> int:
@@ -210,7 +286,21 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed fractional drop below the recorded min_speedup (default 0.25)",
     )
+    parser.add_argument(
+        "--observe-check",
+        action="store_true",
+        help="guard: tracing-off KIPS must stay within --observe-tolerance "
+        "of a plain (observer=None) run measured in the same process",
+    )
+    parser.add_argument(
+        "--observe-tolerance",
+        type=float,
+        default=0.03,
+        help="allowed fractional tracing-off slowdown (default 0.03)",
+    )
     args = parser.parse_args(argv)
+    if args.observe_check:
+        return observe_check(args.observe_tolerance)
     if args.check:
         return check_regression(args.tolerance)
     payload = run_benchmark()
@@ -224,6 +314,27 @@ def test_perf_benchmark_runs():
     here — wall-clock assertions do not belong in correctness CI)."""
     kips = measure_point("compress", 4, 1, "noIM", scale=2_500)
     assert kips > 0
+
+
+def test_observe_check_measures_both_sides():
+    """Smoke: the A/B overhead guard produces comparable measurements."""
+    plain = measure_point("compress", 4, 1, "noIM", scale=2_500)
+    observed = measure_point(
+        "compress", 4, 1, "noIM", scale=2_500, observer=Observer()
+    )
+    assert plain > 0 and observed > 0
+
+
+def test_profile_section_attributes_stages():
+    """Smoke: a profiled run lands nonzero wall-clock on every stage."""
+    trace = cached_trace("compress", 2_500)
+    observer = Observer(profiler=StageProfiler())
+    Machine(make_config(4, 1, "noIM"), trace, observer=observer).run()
+    payload = observer.profiler.to_dict()
+    assert payload["cycles"] > 0
+    assert sum(payload["stage_seconds"].values()) > 0
+    # fractions are rounded to 4 places in the payload; allow that slack
+    assert abs(sum(payload["stage_wall_fraction"].values()) - 1.0) < 1e-3
 
 
 def test_sampled_harness_runs():

@@ -16,9 +16,32 @@ The package layers, bottom-up:
   VRMT, the vector register file with V/R/U/F element flags, and the
   speculative dynamic vectorization engine;
 * :mod:`repro.analysis` / :mod:`repro.experiments` — trace analyses and
-  one runner per figure of the paper's evaluation.
+  one runner per figure of the paper's evaluation;
+* :mod:`repro.observe` — structured observability: typed event tracing,
+  a metrics registry, and pipeline-stage profiling (zero overhead when
+  off);
+* :mod:`repro.api` — the **stable facade**: :func:`repro.api.simulate`,
+  :func:`repro.api.grid`, :func:`repro.api.trace` and friends, with
+  versioned JSON-able result objects.  External callers should start
+  here.
 
 Quickstart::
+
+    import repro
+
+    result = repro.simulate("swim", width=4, ports=1, mode="V")
+    print(result.stats.summary())
+
+    report = repro.api.grid(
+        [("swim", 4, p, m) for p in (1, 2, 4) for m in ("noIM", "IM", "V")]
+    )
+    print(report.summary())
+
+    events = repro.api.trace("turb3d", width=8, ports=2,
+                             events=["validation", "squash"]).events
+
+The lower layers remain importable directly (the quickstart of earlier
+releases still works)::
 
     from repro.isa import assemble
     from repro.functional import run_program
@@ -30,19 +53,41 @@ Quickstart::
     print(stats.summary())
 """
 
-from . import analysis, core, experiments, frontend, functional, isa, memory, pipeline, workloads
+from . import (
+    analysis,
+    api,
+    core,
+    experiments,
+    frontend,
+    functional,
+    isa,
+    memory,
+    observe,
+    pipeline,
+    workloads,
+)
+from .api import GridPoint, GridReport, RunResult, TraceReport, grid, simulate, trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "experiments",
     "frontend",
     "functional",
     "isa",
     "memory",
+    "observe",
     "pipeline",
     "workloads",
+    "GridPoint",
+    "GridReport",
+    "RunResult",
+    "TraceReport",
+    "grid",
+    "simulate",
+    "trace",
     "__version__",
 ]

@@ -1,103 +1,66 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Commands:
+A thin shell over the stable :mod:`repro.api` facade.  Commands:
 
-* ``figures [--scale N] [--sampled] [--only figNN ...] [--jobs J]`` —
-  regenerate the paper's figures and print their tables; the grid points
-  behind the selected figures are collected up front and fanned out over
-  a process pool (see :mod:`repro.experiments.parallel`);
-* ``headline [--scale N] [--sampled] [--jobs J]`` — measure the paper's
-  headline claims, same batched execution;
+* ``figures [--scale N] [--sampled] [--only figNN ...] [--jobs J]
+  [--json]`` — regenerate the paper's figures; the grid points behind
+  the selected figures are collected up front and fanned out over a
+  process pool (see :mod:`repro.experiments.parallel`);
+* ``headline [--scale N] [--sampled] [--jobs J] [--json]`` — measure the
+  paper's headline claims, same batched execution;
 * ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]
-  [--sampled]`` — simulate one benchmark on one configuration and print
-  the stat summary;
+  [--sampled] [--json]`` — simulate one benchmark on one configuration;
+* ``trace <benchmark> [--events SPEC] [--limit N] [--output FILE]``
+  — run one *instrumented* simulation and emit its captured events as
+  JSONL (one event object per line); ``--events`` filters by kind
+  (``validate.fail``), group (``validation,squash``), or subsystem
+  prefix (``vrmt``) — see ``docs/OBSERVABILITY.md`` for the taxonomy;
 * ``cache {info,clear}`` — inspect or drop the persistent result cache;
 * ``list`` — list the available benchmarks.
 
 ``--sampled`` switches the simulations to sampled mode (functional
-warming + detailed windows, see :mod:`repro.sampling`), which is how the
-grid stays affordable at ``--scale`` values 10-100x the exact default;
+warming + detailed windows, see :mod:`repro.sampling`);
 ``--window``/``--interval`` override the sampling parameters (and imply
 ``--sampled``).  Exact simulation remains the default.
+
+``--json`` on ``run``/``figures``/``headline`` prints the facade's
+versioned :meth:`to_dict` payloads instead of tables — the machine
+interface scripts should parse.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 
+from . import api
 from .analysis import format_table, suite_rows
 from .experiments import diskcache
-from .experiments import figures as _figures
-from .experiments.parallel import GridReport, run_grid
-from .experiments.runner import EXPERIMENT_SCALE, run_point
-from .sampling import SamplingConfig
+from .observe import EVENT_GROUPS, EVENT_KINDS
 from .workloads import ALL_BENCHMARKS, SPEC_FP, SPEC_INT
 
-#: figure name -> (callable(scale, sampling) -> rows, title,
-#: callable(scale, sampling) -> points); fig11/12 take a width, bound here.
-FIGURE_RUNNERS = {
-    "fig01": (
-        _figures.fig01_stride_distribution,
-        "Figure 1: stride distribution",
-        _figures.fig01_points,
-    ),
-    "fig03": (
-        _figures.fig03_vectorizable,
-        "Figure 3: vectorizable fraction",
-        _figures.fig03_points,
-    ),
-    "fig07": (
-        _figures.fig07_scalar_blocking,
-        "Figure 7: real vs ideal IPC",
-        _figures.fig07_points,
-    ),
-    "fig09": (
-        _figures.fig09_offsets,
-        "Figure 9: nonzero-offset instances",
-        _figures.fig09_points,
-    ),
-    "fig10": (
-        _figures.fig10_control_independence,
-        "Figure 10: CFI reuse",
-        _figures.fig10_points,
-    ),
-    "fig11_4way": (
-        lambda s, smp: _figures.fig11_ipc(4, s, smp),
-        "Figure 11: IPC, 4-way",
-        lambda s, smp: _figures.fig11_points(4, s, smp),
-    ),
-    "fig11_8way": (
-        lambda s, smp: _figures.fig11_ipc(8, s, smp),
-        "Figure 11: IPC, 8-way",
-        lambda s, smp: _figures.fig11_points(8, s, smp),
-    ),
-    "fig12_4way": (
-        lambda s, smp: _figures.fig12_port_occupancy(4, s, smp),
-        "Figure 12: occupancy, 4-way",
-        lambda s, smp: _figures.fig12_points(4, s, smp),
-    ),
-    "fig12_8way": (
-        lambda s, smp: _figures.fig12_port_occupancy(8, s, smp),
-        "Figure 12: occupancy, 8-way",
-        lambda s, smp: _figures.fig12_points(8, s, smp),
-    ),
-    "fig13": (
-        _figures.fig13_wide_bus,
-        "Figure 13: wide-bus usefulness",
-        _figures.fig13_points,
-    ),
-    "fig14": (
-        _figures.fig14_validations,
-        "Figure 14: validation fraction",
-        _figures.fig14_points,
-    ),
-    "fig15": (
-        _figures.fig15_prediction_accuracy,
-        "Figure 15: element fates",
-        _figures.fig15_points,
-    ),
-}
+
+def __getattr__(name: str):
+    """Deprecation shim: ``FIGURE_RUNNERS`` is now the FigureSpec registry.
+
+    The old CLI carried figures as ``{name: (rows_fn, title, points_fn)}``
+    tuples; drivers should migrate to
+    :data:`repro.experiments.registry.FIGURES`.
+    """
+    if name == "FIGURE_RUNNERS":
+        warnings.warn(
+            "repro.__main__.FIGURE_RUNNERS is deprecated; use "
+            "repro.experiments.registry.FIGURES (FigureSpec objects)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            spec.name: (spec.rows, spec.title, spec.points)
+            for spec in api.FIGURES.values()
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _print_rows(title: str, rows) -> None:
@@ -107,24 +70,35 @@ def _print_rows(title: str, rows) -> None:
     print(format_table(headers, suite_rows(rows, SPEC_INT, SPEC_FP)))
 
 
-def _sampling_from_args(args: argparse.Namespace) -> SamplingConfig | None:
+def _positive_int(text: str) -> int:
+    """argparse type for flags where zero is meaningless (window/interval)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _sampling_from_args(args: argparse.Namespace) -> api.SamplingConfig | None:
     """Build the SamplingConfig the flags ask for (None = exact mode)."""
-    if not (args.sampled or args.window or args.interval):
+    if not (args.sampled or args.window is not None or args.interval is not None):
         return None
-    defaults = SamplingConfig()
-    interval = args.interval or defaults.interval
+    defaults = api.SamplingConfig()
+    interval = args.interval if args.interval is not None else defaults.interval
     window = args.window
     if window is None:
         # Keep the default 10% duty cycle when only the interval shrinks.
         window = min(defaults.window, max(1, interval // 10))
-    return SamplingConfig(window=window, interval=interval)
+    return api.SamplingConfig(window=window, interval=interval)
 
 
 def cmd_figures(args: argparse.Namespace) -> int:
-    names = args.only or list(FIGURE_RUNNERS)
+    names = args.only or api.figure_names()
     for name in names:
-        if name not in FIGURE_RUNNERS:
-            print(f"unknown figure {name!r}; known: {', '.join(FIGURE_RUNNERS)}")
+        if name not in api.FIGURES:
+            print(f"unknown figure {name!r}; known: {', '.join(api.FIGURES)}")
             return 2
     sampling = _sampling_from_args(args)
     # Collect every simulation point the selected figures need, then fan
@@ -132,24 +106,38 @@ def cmd_figures(args: argparse.Namespace) -> int:
     # entirely from the in-process memo.
     points = []
     for name in names:
-        points.extend(FIGURE_RUNNERS[name][2](args.scale, sampling))
-    report = GridReport()
-    run_grid(points, jobs=args.jobs, report=report)
-    print(report.summary())
-    for name in names:
-        runner, title, _points_fn = FIGURE_RUNNERS[name]
-        _print_rows(title, runner(args.scale, sampling))
+        points.extend(api.get_figure(name).points(args.scale, sampling))
+    batch = api.grid(points, jobs=args.jobs, sampling=sampling)
+    results = [
+        api.figure(name, scale=args.scale, sampling=sampling, prebatched=True)
+        for name in names
+    ]
+    if args.json:
+        payload = {
+            "schema": "repro.figures/v1",
+            "grid": batch.to_dict()["accounting"],
+            "figures": {result.spec.name: result.to_dict() for result in results},
+        }
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+    print(batch.summary())
+    for result in results:
+        _print_rows(result.spec.title, result.rows)
     return 0
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
     sampling = _sampling_from_args(args)
-    report = GridReport()
-    run_grid(
-        _figures.headline_points(args.scale, sampling), jobs=args.jobs, report=report
-    )
-    print(report.summary())
-    claims = _figures.headline_claims(args.scale, sampling)
+    claims = api.headline(scale=args.scale, sampling=sampling, jobs=args.jobs)
+    if args.json:
+        payload = {
+            "schema": "repro.headline/v1",
+            "scale": args.scale,
+            "sampled": sampling is not None,
+            "claims": claims,
+        }
+        print(json.dumps(payload, sort_keys=True))
+        return 0
     rows = [[key, f"{value:+.1%}"] for key, value in claims.items()]
     print(format_table(["claim", "measured"], rows))
     return 0
@@ -159,15 +147,64 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.benchmark not in ALL_BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}; try: {', '.join(ALL_BENCHMARKS)}")
         return 2
-    stats = run_point(
+    result = api.simulate(
         args.benchmark,
-        args.width,
-        args.ports,
-        args.mode,
-        args.scale,
+        width=args.width,
+        ports=args.ports,
+        mode=args.mode,
+        scale=args.scale,
         sampling=_sampling_from_args(args),
+        metrics=args.json,
     )
-    print(stats.summary())
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+    else:
+        print(result.stats.summary())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    if args.benchmark not in ALL_BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; try: {', '.join(ALL_BENCHMARKS)}")
+        return 2
+    try:
+        report = api.trace(
+            args.benchmark,
+            width=args.width,
+            ports=args.ports,
+            mode=args.mode,
+            scale=args.scale,
+            sampling=_sampling_from_args(args),
+            events=args.events.split(",") if args.events else None,
+            capacity=args.capacity,
+        )
+    except ValueError as exc:  # unknown event filter token
+        print(str(exc), file=sys.stderr)
+        return 2
+    events = report.events
+    if args.limit is not None:
+        events = events[: args.limit]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            for event in events:
+                stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+    else:
+        for event in events:
+            print(json.dumps(event.to_dict(), sort_keys=True))
+    # Capture accounting + cross-check go to stderr so stdout stays pure
+    # JSONL (pipeable into jq and friends).
+    summary = report.bus_summary
+    print(
+        f"trace: {summary['emitted']} events emitted, "
+        f"{summary['captured']} captured, {summary['dropped']} dropped",
+        file=sys.stderr,
+    )
+    failures = [
+        kind for kind, check in report.crosscheck().items() if not check["match"]
+    ]
+    if failures:
+        print(f"trace: CROSS-CHECK FAILED for {', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -210,14 +247,14 @@ def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--window",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="W",
         help="detailed-window length in trace entries (implies --sampled)",
     )
     parser.add_argument(
         "--interval",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="I",
         help="sampling interval in trace entries (implies --sampled)",
@@ -234,6 +271,22 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the versioned repro.api JSON payload instead of tables",
+    )
+
+
+def _add_point_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("benchmark")
+    parser.add_argument("--width", type=int, default=4, choices=(4, 8))
+    parser.add_argument("--ports", type=int, default=1, choices=(1, 2, 4))
+    parser.add_argument("--mode", default="V", choices=("noIM", "IM", "V"))
+    parser.add_argument("--scale", type=int, default=api.EXPERIMENT_SCALE)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -242,26 +295,66 @@ def main(argv=None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
-    p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    p.add_argument("--scale", type=int, default=api.EXPERIMENT_SCALE)
     p.add_argument("--only", nargs="*", metavar="FIG", help="subset, e.g. fig14")
     _add_sampling_arguments(p)
     _add_jobs_argument(p)
+    _add_json_argument(p)
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser("headline", help="measure the paper's headline claims")
-    p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    p.add_argument("--scale", type=int, default=api.EXPERIMENT_SCALE)
     _add_sampling_arguments(p)
     _add_jobs_argument(p)
+    _add_json_argument(p)
     p.set_defaults(fn=cmd_headline)
 
     p = sub.add_parser("run", help="simulate one benchmark/configuration")
-    p.add_argument("benchmark")
-    p.add_argument("--width", type=int, default=4, choices=(4, 8))
-    p.add_argument("--ports", type=int, default=1, choices=(1, 2, 4))
-    p.add_argument("--mode", default="V", choices=("noIM", "IM", "V"))
-    p.add_argument("--scale", type=int, default=EXPERIMENT_SCALE)
+    _add_point_arguments(p)
     _add_sampling_arguments(p)
+    _add_json_argument(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="instrumented run: emit captured events as JSONL",
+        epilog=(
+            "event filters: exact kinds ("
+            + ", ".join(sorted(EVENT_KINDS))
+            + "), groups ("
+            + ", ".join(sorted(EVENT_GROUPS))
+            + "), or subsystem prefixes (e.g. vrmt)"
+        ),
+    )
+    _add_point_arguments(p)
+    _add_sampling_arguments(p)
+    p.add_argument(
+        "--events",
+        metavar="SPEC",
+        default=None,
+        help="comma-separated kind/group/prefix filter (default: everything)",
+    )
+    p.add_argument(
+        "--limit",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="emit at most the first N captured events",
+    )
+    p.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=65_536,
+        metavar="N",
+        help="ring-buffer capacity (oldest events drop beyond it)",
+    )
+    p.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write JSONL here instead of stdout",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("action", choices=("info", "clear"))

@@ -1,0 +1,459 @@
+"""repro.api — the stable programmatic facade.
+
+Everything external callers need lives here under guaranteed names and
+JSON shapes; the modules behind it (:mod:`repro.experiments.runner`,
+:mod:`repro.experiments.parallel`, :mod:`repro.observe`, ...) may
+reorganize freely without breaking downstream scripts.  The CLI
+(``python -m repro``) is a thin shell over this module.
+
+Entry points:
+
+* :func:`simulate` — one benchmark on one configuration →
+  :class:`RunResult`;
+* :func:`grid` — a batch of :class:`GridPoint` coordinates fanned out
+  over the process pool → :class:`GridReport`;
+* :func:`trace` — one instrumented, cache-bypassing run capturing typed
+  events → :class:`TraceReport` (JSONL-exportable);
+* :func:`figure` / :func:`headline` — the paper's evaluation artifacts,
+  batched through :func:`grid` automatically.
+
+Result objects expose ``to_dict()`` returning versioned, JSON-serializable
+payloads (``schema`` keys ``repro.run/v1``, ``repro.grid/v1``,
+``repro.trace/v1``, ``repro.figure/v1``, ``repro.headline/v1``); the
+CLI's ``--json`` modes print exactly these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .experiments import diskcache
+from .experiments import figures as _figures
+from .experiments import parallel as _parallel
+from .experiments import runner as _runner
+from .experiments.parallel import GridPoint
+from .experiments.registry import FIGURES, FigureSpec, figure_names, get_figure
+from .observe import (
+    MetricsRegistry,
+    Observer,
+    SQUASH_COHERENCE,
+    TL_PROMOTE,
+    TraceEvent,
+    VALIDATE_FAIL,
+    VALIDATE_PASS,
+    FLUSH_BRANCH,
+)
+from .pipeline.machine import Machine
+from .pipeline.stats import SimStats
+from .sampling import SamplingConfig, run_sampled
+from .workloads.spec95 import ALL_BENCHMARKS
+from .workloads.spec95 import cached_trace as _cached_trace
+
+EXPERIMENT_SCALE = _runner.EXPERIMENT_SCALE
+
+SamplingLike = Union[None, SamplingConfig, Tuple[int, int]]
+
+
+def _coerce_sampling(sampling: SamplingLike) -> Optional[SamplingConfig]:
+    """Accept None, a SamplingConfig, or a ``(window, interval)`` tuple."""
+    if sampling is None or isinstance(sampling, SamplingConfig):
+        return sampling
+    window, interval = sampling
+    return SamplingConfig(window=window, interval=interval)
+
+
+def _check_benchmark(name: str) -> None:
+    if name not in ALL_BENCHMARKS:
+        raise ValueError(
+            f"unknown benchmark {name!r}; known: {', '.join(ALL_BENCHMARKS)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# simulate
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunResult:
+    """One simulation's identity + statistics, JSON-stable via to_dict."""
+
+    benchmark: str
+    width: int
+    ports: int
+    mode: str
+    scale: int
+    block_on_scalar_operand: bool
+    sampling: Optional[Tuple[int, int]]
+    stats: SimStats
+    metrics: Optional[Dict] = None
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+    def point(self) -> GridPoint:
+        """The grid coordinate this result answers."""
+        return GridPoint(
+            self.benchmark,
+            self.width,
+            self.ports,
+            self.mode,
+            self.scale,
+            self.block_on_scalar_operand,
+            self.sampling,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "repro.run/v1",
+            "point": {
+                "benchmark": self.benchmark,
+                "width": self.width,
+                "ports": self.ports,
+                "mode": self.mode,
+                "scale": self.scale,
+                "block_on_scalar_operand": self.block_on_scalar_operand,
+                "sampling": list(self.sampling) if self.sampling else None,
+            },
+            "stats": diskcache.stats_to_dict(self.stats),
+            "derived": {
+                "ipc": self.stats.ipc,
+                "validation_fraction": self.stats.validation_fraction,
+                "port_occupancy": self.stats.port_occupancy,
+                "memory_accesses": self.stats.memory_accesses,
+            },
+            "metrics": self.metrics,
+        }
+
+
+def simulate(
+    benchmark: str,
+    *,
+    width: int = 4,
+    ports: int = 1,
+    mode: str = "V",
+    scale: int = EXPERIMENT_SCALE,
+    block_on_scalar_operand: bool = True,
+    sampling: SamplingLike = None,
+    metrics: bool = False,
+    observer: Optional[Observer] = None,
+) -> RunResult:
+    """Simulate ``benchmark`` on one machine configuration.
+
+    Results come through the two-layer cache (in-process memo + disk), so
+    repeated calls are cheap and deterministic.  ``metrics=True`` attaches
+    a fresh :class:`MetricsRegistry` and returns its serialized contents
+    in ``RunResult.metrics``; pass ``observer`` instead for full control
+    (tracing/profiling) — but note cache hits skip simulation, so an
+    event-capture run should use :func:`trace`.
+    """
+    _check_benchmark(benchmark)
+    sampling = _coerce_sampling(sampling)
+    if metrics and observer is None:
+        observer = Observer.measuring()
+    stats = _runner.run_point(
+        benchmark,
+        width,
+        ports,
+        mode,
+        scale,
+        block_on_scalar_operand,
+        sampling=sampling,
+        observer=observer,
+    )
+    payload = None
+    if observer is not None and observer.metrics is not None:
+        payload = observer.metrics.to_dict()
+    return RunResult(
+        benchmark=benchmark,
+        width=width,
+        ports=ports,
+        mode=mode,
+        scale=scale,
+        block_on_scalar_operand=block_on_scalar_operand,
+        sampling=sampling.key if sampling is not None else None,
+        stats=stats,
+        metrics=payload,
+    )
+
+
+# ---------------------------------------------------------------------------
+# grid
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GridReport:
+    """A batch of grid results plus where-they-came-from accounting."""
+
+    runs: List[RunResult]
+    accounting: _parallel.GridReport
+    metrics: Optional[MetricsRegistry] = None
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def stats(self) -> Dict[GridPoint, SimStats]:
+        return {run.point(): run.stats for run in self.runs}
+
+    def summary(self) -> str:
+        return self.accounting.summary()
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "repro.grid/v1",
+            "accounting": {
+                "requested": self.accounting.requested,
+                "unique": self.accounting.unique,
+                "memo_hits": self.accounting.memo_hits,
+                "disk_hits": self.accounting.disk_hits,
+                "simulated": self.accounting.simulated,
+                "jobs": self.accounting.jobs,
+            },
+            "runs": [run.to_dict() for run in self.runs],
+            "metrics": self.metrics.to_dict() if self.metrics else None,
+        }
+
+
+def grid(
+    points: Iterable[Union[GridPoint, Sequence]],
+    *,
+    jobs: Optional[int] = None,
+    sampling: SamplingLike = None,
+    metrics: bool = False,
+) -> GridReport:
+    """Compute a batch of grid points, fanning misses over a process pool.
+
+    ``points`` may be :class:`GridPoint` instances or plain tuples in
+    GridPoint order.  ``sampling``, when given, overrides the sampling
+    coordinate of *every* point (the common "same grid, sampled" case).
+    ``metrics=True`` aggregates every point's metrics — whether it came
+    from a worker, the disk cache, or the memo — into one registry on the
+    returned report.
+    """
+    sampling = _coerce_sampling(sampling)
+    normalized: List[GridPoint] = []
+    for point in points:
+        point = GridPoint(*point)
+        if sampling is not None:
+            point = point._replace(sampling=sampling.key)
+        normalized.append(point)
+    registry = MetricsRegistry() if metrics else None
+    accounting = _parallel.GridReport()
+    results = _parallel.run_grid(
+        normalized, jobs=jobs, report=accounting, metrics=registry
+    )
+    runs = [
+        RunResult(
+            benchmark=point.name,
+            width=point.width,
+            ports=point.ports,
+            mode=point.mode,
+            scale=point.scale,
+            block_on_scalar_operand=point.block_on_scalar_operand,
+            sampling=point.sampling,
+            stats=stats,
+        )
+        for point, stats in results.items()
+    ]
+    return GridReport(runs=runs, accounting=accounting, metrics=registry)
+
+
+# ---------------------------------------------------------------------------
+# trace
+# ---------------------------------------------------------------------------
+
+#: event kind -> SimStats counter it must equal (the cross-check contract).
+_CROSSCHECK_COUNTERS = {
+    TL_PROMOTE: "vector_load_instances",
+    VALIDATE_PASS: "validations_committed",
+    VALIDATE_FAIL: "validation_failures",
+    SQUASH_COHERENCE: "store_conflicts",
+    FLUSH_BRANCH: "branch_mispredicts",
+}
+
+
+@dataclass
+class TraceReport:
+    """One instrumented run's captured events + capture accounting."""
+
+    result: RunResult
+    events: List[TraceEvent] = field(default_factory=list)
+    bus_summary: Dict = field(default_factory=dict)
+
+    def crosscheck(self) -> Dict[str, Dict]:
+        """Per-kind event counts vs the SimStats counters they mirror.
+
+        Only kinds the bus subscribed to are checked (filtered kinds are
+        never counted).  Every ``match`` is True by construction; a False
+        is an instrumentation bug.
+        """
+        counts = self.bus_summary.get("counts", {})
+        kinds = self.bus_summary.get("kinds")
+        out: Dict[str, Dict] = {}
+        for kind, attr in _CROSSCHECK_COUNTERS.items():
+            if kinds is not None and kind not in kinds:
+                continue
+            expected = getattr(self.result.stats, attr)
+            got = counts.get(kind, 0)
+            out[kind] = {"events": got, "counter": attr,
+                         "expected": expected, "match": got == expected}
+        return out
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "repro.trace/v1",
+            "run": self.result.to_dict(),
+            "capture": self.bus_summary,
+            "crosscheck": self.crosscheck(),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def export_jsonl(self, stream) -> int:
+        """Write the captured events to ``stream`` as JSONL lines."""
+        import json
+
+        n = 0
+        for event in self.events:
+            stream.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+            n += 1
+        return n
+
+
+def trace(
+    benchmark: str,
+    *,
+    width: int = 4,
+    ports: int = 1,
+    mode: str = "V",
+    scale: int = EXPERIMENT_SCALE,
+    block_on_scalar_operand: bool = True,
+    sampling: SamplingLike = None,
+    events: Optional[Iterable[str]] = None,
+    capacity: int = 65_536,
+    metrics: bool = False,
+) -> TraceReport:
+    """Run one instrumented simulation and capture its event stream.
+
+    Always simulates (never a stats-cache hit — a cached result has no
+    events to replay) and never writes the stats cache, so tracing cannot
+    perturb cached experiment state.  Stats are bit-identical to the
+    uninstrumented run of the same point.
+
+    ``events`` filters by kind, group alias, or subsystem prefix (see
+    :func:`repro.observe.resolve_event_kinds`); None captures everything.
+    """
+    _check_benchmark(benchmark)
+    sampling = _coerce_sampling(sampling)
+    observer = Observer.tracing(events=events, capacity=capacity, metrics=metrics)
+    kinds = observer.bus.kinds
+    config = _runner.point_config(width, ports, mode, block_on_scalar_operand)
+    instr_trace = _cached_trace(benchmark, scale)
+    if sampling is not None:
+        stats = run_sampled(
+            config,
+            instr_trace,
+            sampling,
+            checkpoint_scope={"benchmark": benchmark, "scale": scale, "seed": 0},
+            observer=observer,
+        )
+    else:
+        stats = Machine(config, instr_trace, observer=observer).run()
+    summary = observer.bus.summary()
+    summary["kinds"] = sorted(kinds) if kinds is not None else None
+    result = RunResult(
+        benchmark=benchmark,
+        width=width,
+        ports=ports,
+        mode=mode,
+        scale=scale,
+        block_on_scalar_operand=block_on_scalar_operand,
+        sampling=sampling.key if sampling is not None else None,
+        stats=stats,
+        metrics=observer.metrics.to_dict() if observer.metrics else None,
+    )
+    return TraceReport(
+        result=result,
+        events=list(observer.bus.events),
+        bus_summary=summary,
+    )
+
+
+# ---------------------------------------------------------------------------
+# figures / headline
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: rows keyed by benchmark, plus identity."""
+
+    spec: FigureSpec
+    rows: Dict[str, Dict[str, float]]
+    grid: Optional[GridReport] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": "repro.figure/v1",
+            "figure": self.spec.describe(),
+            "rows": self.rows,
+        }
+
+
+def figure(
+    name: str,
+    *,
+    scale: int = EXPERIMENT_SCALE,
+    sampling: SamplingLike = None,
+    jobs: Optional[int] = None,
+    prebatched: bool = False,
+) -> FigureResult:
+    """Regenerate one figure of the paper (see :data:`FIGURES` for names).
+
+    The figure's simulation points are batched through :func:`grid` first
+    (skipped with ``prebatched=True`` when a driver already warmed the
+    batch), then the rows are computed from the in-process memo.
+    """
+    spec = get_figure(name)
+    sampling = _coerce_sampling(sampling)
+    report = None
+    if not prebatched:
+        points = spec.points(scale, sampling)
+        if points:
+            report = grid(points, jobs=jobs)
+    return FigureResult(spec=spec, rows=spec.rows(scale, sampling), grid=report)
+
+
+def headline(
+    *,
+    scale: int = EXPERIMENT_SCALE,
+    sampling: SamplingLike = None,
+    jobs: Optional[int] = None,
+) -> Dict[str, float]:
+    """Measure the paper's headline claims (§1/§4/§6) on this machine."""
+    sampling = _coerce_sampling(sampling)
+    grid(_figures.headline_points(scale, sampling), jobs=jobs)
+    return _figures.headline_claims(scale, sampling)
+
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "EXPERIMENT_SCALE",
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "GridPoint",
+    "GridReport",
+    "RunResult",
+    "SamplingConfig",
+    "TraceReport",
+    "figure",
+    "figure_names",
+    "get_figure",
+    "grid",
+    "headline",
+    "simulate",
+    "trace",
+]

@@ -42,8 +42,18 @@ from typing import TYPE_CHECKING
 
 from ..functional.semantics import apply_alu
 from ..isa.opcodes import FU_LATENCY, Opcode, fu_class_of
+from ..observe.events import (
+    SQUASH_COHERENCE,
+    TL_DEMOTE,
+    TL_PROMOTE,
+    VALIDATE_FAIL,
+    VALIDATE_PASS,
+    VRMT_INVALIDATE,
+    VRMT_MAP,
+)
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with the pipeline
+    from ..observe import Observer
     from ..pipeline.config import MachineConfig
     from ..pipeline.stats import SimStats
 from .table_of_loads import TableOfLoads
@@ -154,11 +164,20 @@ class VectorAluInstance:
 class VectorizationEngine:
     """Decode-side vectorizer + vector datapath + coherence for one run."""
 
-    def __init__(self, config: "MachineConfig", stats: "SimStats") -> None:
+    def __init__(
+        self,
+        config: "MachineConfig",
+        stats: "SimStats",
+        observer: Optional["Observer"] = None,
+    ) -> None:
         self.config = config
         vc = config.vector
         self.vl = vc.vector_length
         self.stats = stats
+        # Observability: both stay None on unobserved runs, so every
+        # emission site below costs a single `is not None` test.
+        self._bus = observer.bus if observer is not None else None
+        self._metrics = observer.metrics if observer is not None else None
         self.tl = TableOfLoads(
             vc.tl_ways, vc.tl_sets, vc.confidence_threshold, damping=vc.tl_damping
         )
@@ -265,6 +284,13 @@ class VectorizationEngine:
         self.stats.vector_instances += 1
         self.stats.vector_load_instances += 1
         self.stats.registers_allocated += 1
+        bus = self._bus
+        if bus is not None:
+            bus.emit(
+                now, TL_PROMOTE, pc=pc,
+                stride=stride, base=base_addr, chained=chained,
+            )
+            bus.emit(now, VRMT_MAP, pc=pc, slot=reg.slot, gen=reg.gen, load=True)
         return Decision(
             DecodeKind.TRIGGER,
             reg=reg,
@@ -329,6 +355,11 @@ class VectorizationEngine:
             # Offset exhausted or operands changed: retire this mapping and
             # (if still fed by vector operands) chain a new instance.
             self.vrmt.invalidate(pc)
+            if self._bus is not None:
+                self._bus.emit(
+                    now, VRMT_INVALIDATE, pc=pc,
+                    reason="exhausted" if mapping.offset >= self.vl else "operands",
+                )
             decision = (
                 self._new_alu_instance(entry, src_descs, scalar_value, now)
                 if any_vector
@@ -441,6 +472,11 @@ class VectorizationEngine:
         self.stats.registers_allocated += 1
         if start:
             self.stats.offset_instances += 1
+        if self._bus is not None:
+            self._bus.emit(
+                now, VRMT_MAP, pc=pc,
+                slot=reg.slot, gen=reg.gen, load=False, start=start,
+            )
         return Decision(
             DecodeKind.TRIGGER,
             reg=reg,
@@ -608,13 +644,30 @@ class VectorizationEngine:
         """
         self.stats.validation_failures += 1
         pc = fl.entry.pc
+        bus = self._bus
         mapping = self.vrmt.table.peek(pc)
-        if mapping is not None and mapping.reg is fl.vreg:
+        dropped_mapping = mapping is not None and mapping.reg is fl.vreg
+        if dropped_mapping:
             self.vrmt.invalidate(pc)
+        was_dead = fl.vreg.freed or fl.vreg.defunct
         fl.vreg.defunct = True
         fl.vrmt_rollback = (pc, None)
+        demoted = False
         if fl.vreg.is_load:
-            self.tl.punish(pc)
+            demoted = self.tl.punish(pc)
+        if bus is not None:
+            bus.emit(
+                now, VALIDATE_FAIL, pc=pc, seq=fl.entry.seq,
+                elem=fl.velem,
+                reason="dead_register" if was_dead else "addr_mismatch"
+                if fl.pred_addr is not None else "operand_mismatch",
+            )
+            if dropped_mapping:
+                bus.emit(now, VRMT_INVALIDATE, pc=pc, reason="validation_failure")
+            if demoted:
+                bus.emit(now, TL_DEMOTE, pc=pc, reason="validation_failure")
+        if self._metrics is not None:
+            self._metrics.histogram("validate.fail.pc").observe(pc)
         self._maybe_free(fl.vreg, now)
 
     def on_validation_commit(self, fl, now: int, ports) -> None:
@@ -648,6 +701,11 @@ class VectorizationEngine:
                 self.tl.reward(fl.entry.pc)
         if fl.counts_as_validation:
             self.stats.validations_committed += 1
+            if self._bus is not None:
+                self._bus.emit(
+                    now, VALIDATE_PASS, pc=fl.entry.pc, seq=fl.entry.seq,
+                    elem=k, load=reg.is_load,
+                )
         self._maybe_free(reg, now)
 
     def on_flush_entry(self, fl, now: int) -> None:
@@ -675,6 +733,8 @@ class VectorizationEngine:
         then squash every younger instruction.
         """
         conflict = False
+        bus = self._bus
+        hit_pcs: List[int] = []
         for reg in self.vrf.live_registers():
             if reg.defunct or not reg.covers(addr):
                 continue
@@ -691,12 +751,25 @@ class VectorizationEngine:
                 continue
             conflict = True
             reg.defunct = True
+            hit_pcs.append(reg.pc)
             mapping = self.vrmt.table.peek(reg.pc)
             if mapping is not None and mapping.reg is reg:
                 self.vrmt.invalidate(reg.pc)
-            self.tl.punish(reg.pc)
+                if bus is not None:
+                    bus.emit(now, VRMT_INVALIDATE, pc=reg.pc, reason="coherence")
+            demoted = self.tl.punish(reg.pc)
+            if demoted and bus is not None:
+                bus.emit(now, TL_DEMOTE, pc=reg.pc, reason="coherence")
         if conflict:
             self.stats.store_conflicts += 1
+            # One squash event per conflicting *store* so the event count
+            # cross-checks against SimStats.store_conflicts.
+            if bus is not None:
+                bus.emit(now, SQUASH_COHERENCE, addr=addr, pcs=hit_pcs)
+            if self._metrics is not None:
+                hist = self._metrics.histogram("squash.coherence.pc")
+                for pc in hit_pcs:
+                    hist.observe(pc)
         return conflict
 
     # ------------------------------------------------------------------
@@ -776,3 +849,13 @@ class VectorizationEngine:
             self.stats.elements_computed_used += used
             self.stats.elements_computed_unused += unused
             self.stats.elements_not_computed += not_computed
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.gauge("engine.tl.entries").set(len(self.tl.table))
+            metrics.gauge("engine.tl.occupancy").set(self.tl.table.occupancy())
+            metrics.gauge("engine.vrmt.entries").set(len(self.vrmt))
+            metrics.gauge("engine.vrmt.occupancy").set(self.vrmt.table.occupancy())
+            metrics.gauge("engine.vrmt.evictions").set(self.vrmt.table.evictions)
+            metrics.gauge("engine.vrmt.orphaned_registers").set(
+                self.vrmt.orphaned_registers
+            )

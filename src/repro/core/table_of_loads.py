@@ -92,13 +92,19 @@ class TableOfLoads:
         )
         return entry.stride, entry.confidence >= required
 
-    def punish(self, pc: int) -> None:
-        """A misspeculation for this load: reset confidence, raise the bar."""
+    def punish(self, pc: int) -> bool:
+        """A misspeculation for this load: reset confidence, raise the bar.
+
+        Returns True when a tracked entry was actually demoted (the
+        tracing bus uses this to emit ``tl.demote`` only for real state
+        changes)."""
         entry = self.table.peek(pc)
-        if entry is not None:
-            entry.confidence = 0
-            if self.damping:
-                entry.failures = min(entry.failures + 1, 4)
+        if entry is None:
+            return False
+        entry.confidence = 0
+        if self.damping:
+            entry.failures = min(entry.failures + 1, 4)
+        return True
 
     def reward(self, pc: int) -> None:
         """A fully-validated vector register for this load: relax damping."""

@@ -76,6 +76,10 @@ class SetAssocTable(Generic[T]):
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self._sets)
 
+    def occupancy(self) -> float:
+        """Filled fraction of the table's ``ways * sets`` capacity."""
+        return len(self) / (self.ways * self.sets)
+
     def items(self):
         """Iterate all ``(pc, payload)`` pairs (MRU-first within sets)."""
         for bucket in self._sets:

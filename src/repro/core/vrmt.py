@@ -79,6 +79,10 @@ class VRMT:
         else:
             self.table.insert(pc, snapshot)
 
+    def __len__(self) -> int:
+        """Live mappings currently installed (observability gauges)."""
+        return len(self.table)
+
     @property
     def storage_bytes(self) -> int:
         """Hardware cost per §4.1: ways * sets * 18 bytes per entry."""

@@ -51,7 +51,7 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..functional import traceio
 from ..functional.trace import Trace
@@ -268,8 +268,15 @@ def _atomic_write(path: pathlib.Path, text: str) -> None:
 # ---------------------------------------------------------------------------
 
 
-def load_stats(key: str) -> Optional[SimStats]:
-    """The cached stats for ``key``, or None on miss/corruption."""
+def load_stats_entry(key: str) -> Optional[Tuple[SimStats, Optional[Dict]]]:
+    """The cached ``(stats, metrics-payload)`` for ``key``, or None.
+
+    The second element is the serialized
+    :class:`~repro.observe.metrics.MetricsRegistry` persisted alongside
+    the stats by an observed run, or None for entries written without
+    metrics (older entries, unobserved runs) — stats entries stay
+    readable either way.
+    """
     if not cache_enabled():
         return None
     path = _stats_dir() / f"{key}.json"
@@ -278,6 +285,9 @@ def load_stats(key: str) -> Optional[SimStats]:
         if payload.get("format") != CACHE_FORMAT:
             raise ValueError("format mismatch")
         stats = stats_from_dict(payload["stats"])
+        metrics = payload.get("metrics")
+        if metrics is not None and not isinstance(metrics, dict):
+            raise ValueError("metrics payload is not an object")
     except FileNotFoundError:
         COUNTERS.stats_misses += 1
         return None
@@ -291,16 +301,34 @@ def load_stats(key: str) -> Optional[SimStats]:
             pass
         return None
     COUNTERS.stats_hits += 1
-    return stats
+    return stats, metrics
 
 
-def store_stats(key: str, stats: SimStats, describe: Optional[Dict] = None) -> None:
-    """Persist ``stats`` under ``key`` (atomic; no-op when disabled)."""
+def load_stats(key: str) -> Optional[SimStats]:
+    """The cached stats for ``key``, or None on miss/corruption."""
+    entry = load_stats_entry(key)
+    return entry[0] if entry is not None else None
+
+
+def store_stats(
+    key: str,
+    stats: SimStats,
+    describe: Optional[Dict] = None,
+    metrics: Optional[Dict] = None,
+) -> None:
+    """Persist ``stats`` under ``key`` (atomic; no-op when disabled).
+
+    ``metrics`` (a ``MetricsRegistry.to_dict()`` payload) rides along in
+    the same entry so later processes can aggregate an observed grid
+    without re-simulating; readers that only want stats ignore it.
+    """
     if not cache_enabled():
         return
     payload = {"format": CACHE_FORMAT, "stats": stats_to_dict(stats)}
     if describe:
         payload["point"] = describe
+    if metrics:
+        payload["metrics"] = metrics
     _atomic_write(_stats_dir() / f"{key}.json", json.dumps(payload))
     COUNTERS.stats_stores += 1
 

@@ -33,8 +33,10 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
+from ..observe import MetricsRegistry, Observer, record_sim_stats
 from ..pipeline.stats import SimStats
 from . import diskcache, runner
 
@@ -89,22 +91,28 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def _worker_run_point(key: GridPoint):
+def _worker_run_point(key: GridPoint, want_metrics: bool = False):
     """Pool entry point: compute one grid point in a worker process.
 
-    Returns ``(key, stats-as-dict, simulated_flag)``; the dict form keeps
-    the pickled payload decoupled from SimStats object identity.
+    Returns ``(key, stats-as-dict, simulated_flag, metrics-payload)``;
+    the dict forms keep the pickled payload decoupled from object
+    identity.  ``metrics-payload`` is None unless ``want_metrics`` — it
+    then carries the point's full serialized registry (``sim.*``
+    counters plus machine-level extras) ready to merge parent-side.
     """
     before = runner.simulations_run()
-    stats = runner.compute_point(tuple(key))
+    observer = Observer(metrics=MetricsRegistry()) if want_metrics else None
+    stats = runner.compute_point(tuple(key), observer)
     simulated = runner.simulations_run() > before
-    return key, diskcache.stats_to_dict(stats), simulated
+    metrics = observer.metrics.to_dict() if want_metrics else None
+    return key, diskcache.stats_to_dict(stats), simulated, metrics
 
 
 def run_grid(
     points: Iterable[GridPoint],
     jobs: Optional[int] = None,
     report: Optional[GridReport] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> Dict[GridPoint, SimStats]:
     """Compute every grid point, fanning misses out over a process pool.
 
@@ -112,6 +120,13 @@ def run_grid(
     (they are the memo's master copies; :func:`runner.run_point` hands out
     private copies and becomes a memo hit for every point computed here).
     ``report``, when given, is filled with hit/miss accounting.
+
+    ``metrics``, when given, aggregates every point's metrics into one
+    registry: pool workers ship their per-point registries back across
+    the pickle boundary, cached points replay their persisted payloads,
+    and memo hits synthesize ``sim.*`` from the cached stats — so the
+    counters sum over the whole grid regardless of where each point came
+    from.
     """
     points = list(points)
     if report is None:
@@ -129,6 +144,7 @@ def run_grid(
             ordered.append(point)
     report.unique = len(ordered)
 
+    want_metrics = metrics is not None
     results: Dict[GridPoint, SimStats] = {}
     todo: List[GridPoint] = []
     for point in ordered:
@@ -136,6 +152,8 @@ def run_grid(
         if runner.memo_contains(key):
             results[point] = runner.memo_get(key)
             report.memo_hits += 1
+            if want_metrics:
+                record_sim_stats(metrics, results[point])
         else:
             todo.append(point)
 
@@ -146,7 +164,7 @@ def run_grid(
             point.width, point.ports, point.mode, point.block_on_scalar_operand
         )
         sampling = runner.sampling_from_key(point.sampling)
-        cached = diskcache.load_stats(
+        entry = diskcache.load_stats_entry(
             diskcache.stats_key(
                 point.name,
                 point.scale,
@@ -155,23 +173,24 @@ def run_grid(
                 sampling.fingerprint() if sampling is not None else None,
             )
         )
-        if cached is not None:
+        if entry is not None:
+            cached, persisted = entry
             runner.prime_memo(tuple(point), cached)
             results[point] = cached
             report.disk_hits += 1
+            if want_metrics:
+                if persisted:
+                    metrics.merge(persisted)
+                record_sim_stats(metrics, cached)
         else:
             still_cold.append(point)
 
     if still_cold:
         if jobs > 1 and len(still_cold) > 1:
-            computed = _pool_map(still_cold, jobs)
+            computed = _pool_map(still_cold, jobs, want_metrics)
         else:
-            computed = []
-            for point in still_cold:
-                before = runner.simulations_run()
-                stats = runner.compute_point(tuple(point))
-                computed.append((point, diskcache.stats_to_dict(stats), runner.simulations_run() > before))
-        for point, payload, simulated in computed:
+            computed = [_worker_run_point(point, want_metrics) for point in still_cold]
+        for point, payload, simulated, point_metrics in computed:
             stats = diskcache.stats_from_dict(payload)
             runner.prime_memo(tuple(point), stats)
             results[point] = runner.memo_get(tuple(point))
@@ -179,15 +198,19 @@ def run_grid(
                 report.simulated += 1
             else:
                 report.disk_hits += 1
+            if want_metrics and point_metrics:
+                # The worker-side registry already includes the sim.* shim.
+                metrics.merge(point_metrics)
 
     return results
 
 
-def _pool_map(points: List[GridPoint], jobs: int):
+def _pool_map(points: List[GridPoint], jobs: int, want_metrics: bool = False):
     """Fan ``points`` out over a process pool (serial fallback on failure)."""
+    work = partial(_worker_run_point, want_metrics=want_metrics)
     try:
         with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
-            return list(pool.map(_worker_run_point, points))
+            return list(pool.map(work, points))
     except (OSError, ImportError):
         # Restricted environments (no sem_open / fork): degrade to serial.
-        return [_worker_run_point(point) for point in points]
+        return [work(point) for point in points]

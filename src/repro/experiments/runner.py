@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
+from ..observe import MetricsRegistry, Observer, record_sim_stats
 from ..pipeline.config import MachineConfig, make_config
 from ..pipeline.machine import Machine
 from ..pipeline.stats import SimStats
@@ -87,6 +88,7 @@ def run_point(
     block_on_scalar_operand: bool = True,
     sampling: Optional[SamplingConfig] = None,
     sampled: bool = False,
+    observer=None,
 ) -> SimStats:
     """Simulate benchmark ``name`` on one machine-configuration point.
 
@@ -95,6 +97,13 @@ def run_point(
     control window/interval (either alone is enough).  Exact remains the
     default and its results are untouched by sampled runs (separate
     memo/disk keys).
+
+    ``observer`` (a :class:`repro.observe.Observer`) threads tracing /
+    metrics / profiling into the run.  An attached metrics registry is
+    fed on every path: a memo hit synthesizes the ``sim.*`` counters
+    from the cached stats, a disk hit additionally merges any persisted
+    machine-level metrics, and a fresh simulation records everything.
+    Stats are bit-identical with or without an observer.
 
     Results are memoized in-process and persisted to the on-disk cache;
     every call returns a fresh :class:`SimStats` copy, so mutating a
@@ -113,15 +122,27 @@ def run_point(
     )
     stats = _MEMO.get(key)
     if stats is None:
-        stats = _MEMO[key] = compute_point(key)
+        stats = _MEMO[key] = compute_point(key, observer)
+    elif observer is not None and observer.metrics is not None:
+        # Memo hit: the run is not repeated, but the aggregate registry
+        # still receives this point's sim.* counters (machine-level
+        # extras only exist where a simulation or disk entry carried them).
+        record_sim_stats(observer.metrics, stats)
     return _copy_stats(stats)
 
 
-def compute_point(key: PointKey) -> SimStats:
+def compute_point(key: PointKey, observer=None) -> SimStats:
     """Disk-cache lookup + (on miss) one simulation for one grid point.
 
     Shared by :func:`run_point` and the process-pool workers; bypasses the
     in-process memo on purpose (the callers own that layer).
+
+    When ``observer`` carries a metrics registry, the point's metrics are
+    folded into it whichever path produced the stats: fresh simulations
+    record into a per-point registry (persisted to the disk entry, then
+    merged), disk hits merge the entry's persisted payload, and both
+    paths finish with the ``sim.*`` counter shim so aggregation across a
+    grid is uniform.
     """
     global _SIMULATIONS_RUN
     name, width, ports, mode, scale, block_on_scalar_operand, sampling_key = key
@@ -129,32 +150,54 @@ def compute_point(key: PointKey) -> SimStats:
     sampling = sampling_from_key(sampling_key)
     fingerprint = sampling.fingerprint() if sampling is not None else None
     disk_key = diskcache.stats_key(name, scale, 0, config, fingerprint)
-    stats = diskcache.load_stats(disk_key)
-    if stats is None:
-        trace = cached_trace(name, scale)
-        if sampling is not None:
-            stats = run_sampled(
-                config,
-                trace,
-                sampling,
-                checkpoint_scope={"benchmark": name, "scale": scale, "seed": 0},
-            )
-        else:
-            stats = Machine(config, trace).run()
-        _SIMULATIONS_RUN += 1
-        diskcache.store_stats(
-            disk_key,
-            stats,
-            describe={
-                "benchmark": name,
-                "width": width,
-                "ports": ports,
-                "mode": mode,
-                "scale": scale,
-                "block_on_scalar_operand": block_on_scalar_operand,
-                "sampling": fingerprint,
-            },
+    want_metrics = observer is not None and observer.metrics is not None
+    entry = diskcache.load_stats_entry(disk_key)
+    if entry is not None:
+        stats, persisted = entry
+        if want_metrics:
+            if persisted:
+                observer.metrics.merge(persisted)
+            record_sim_stats(observer.metrics, stats)
+        return stats
+    # Simulate.  Metrics go through a per-point registry so the disk entry
+    # captures exactly this point's machine-level metrics; the bus and
+    # profiler (cross-run by design) are shared directly.
+    local = observer
+    if want_metrics:
+        local = Observer(
+            bus=observer.bus,
+            metrics=MetricsRegistry(),
+            profiler=observer.profiler,
         )
+    trace = cached_trace(name, scale)
+    if sampling is not None:
+        stats = run_sampled(
+            config,
+            trace,
+            sampling,
+            checkpoint_scope={"benchmark": name, "scale": scale, "seed": 0},
+            observer=local,
+        )
+    else:
+        stats = Machine(config, trace, observer=local).run()
+    _SIMULATIONS_RUN += 1
+    diskcache.store_stats(
+        disk_key,
+        stats,
+        describe={
+            "benchmark": name,
+            "width": width,
+            "ports": ports,
+            "mode": mode,
+            "scale": scale,
+            "block_on_scalar_operand": block_on_scalar_operand,
+            "sampling": fingerprint,
+        },
+        metrics=local.metrics.to_dict() if want_metrics else None,
+    )
+    if want_metrics:
+        observer.metrics.merge(local.metrics)
+        record_sim_stats(observer.metrics, stats)
     return stats
 
 

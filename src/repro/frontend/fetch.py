@@ -25,6 +25,7 @@ from ..functional.trace import Trace, TraceEntry
 from ..isa.opcodes import Opcode
 from ..isa.program import INSTR_BYTES
 from ..memory.hierarchy import MemoryHierarchy
+from ..observe.events import FETCH_REDIRECT
 from .branch_predictor import GsharePredictor, IndirectPredictor
 
 
@@ -68,6 +69,8 @@ class FetchUnit:
         # Hoisted per-instruction constants (hot loop).
         self._l1i_line = hierarchy.config.l1i_line
         self._l1i_hit_latency = hierarchy.config.l1i_hit_latency
+        #: optional trace bus (set by the machine when tracing is on).
+        self.bus = None
 
     # ------------------------------------------------------------------
 
@@ -88,6 +91,8 @@ class FetchUnit:
         self._stalled_until = resume_cycle
         self._blocked = False
         self._last_line = None
+        if self.bus is not None:
+            self.bus.emit(resume_cycle, FETCH_REDIRECT, seq=seq)
 
     # ------------------------------------------------------------------
 

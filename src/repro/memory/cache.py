@@ -33,6 +33,14 @@ class CacheStats:
         total = self.accesses
         return self.misses / total if total else 0.0
 
+    def to_dict(self) -> Dict[str, int]:
+        """Counters as a plain dict (metrics recording / reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks,
+        }
+
 
 class Cache:
     """One level of set-associative cache.

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..observe.events import CACHE_MISS, MSHR_MERGE
 from .cache import Cache
 
 
@@ -58,6 +59,9 @@ class MemoryHierarchy:
         self.l2 = Cache(c.l2_size, c.l2_assoc, c.l2_line, "L2")
         #: line address -> cycle at which the outstanding fill completes.
         self._mshrs: Dict[int, int] = {}
+        #: optional trace bus (set by the machine when tracing is on);
+        #: hit paths never touch it — only miss/merge branches test it.
+        self.bus = None
 
     # ------------------------------------------------------------------
 
@@ -86,6 +90,8 @@ class MemoryHierarchy:
         line = self.l1d.line_addr(addr)
         if line in self._mshrs:
             # Merge with the in-flight fill for the same line.
+            if self.bus is not None:
+                self.bus.emit(now, MSHR_MERGE, line=line, write=is_write)
             return self._mshrs[line]
         if self.l1d.access(addr, is_write):
             return now + c.l1d_hit_latency
@@ -97,12 +103,18 @@ class MemoryHierarchy:
             self.l1d.stats.misses -= 1
             return None
         latency = c.l1d_hit_latency + c.l2_hit_latency
-        if not self.l2.access(addr, is_write):
+        l2_hit = self.l2.access(addr, is_write)
+        if not l2_hit:
             latency += c.memory_latency
             self.l2.fill(addr, dirty=False)
         ready = now + latency
         self.l1d.fill(addr, dirty=is_write)
         self._mshrs[line] = ready
+        if self.bus is not None:
+            self.bus.emit(
+                now, CACHE_MISS,
+                level="L1D", line=line, write=is_write, l2_hit=l2_hit,
+            )
         return ready
 
     def inst_access(self, addr: int, now: int) -> int:
@@ -111,7 +123,25 @@ class MemoryHierarchy:
         if self.l1i.access(addr):
             return now + c.l1i_hit_latency
         self.l1i.fill(addr)
+        if self.bus is not None:
+            self.bus.emit(now, CACHE_MISS, level="L1I", line=self.l1i.line_addr(addr))
         return now + c.l1i_miss_latency
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def record_metrics(self, registry, prefix: str = "mem.") -> None:
+        """End-of-run cache counters as ``mem.<cache>.<stat>`` gauges.
+
+        Gauges (not counters) because the hierarchy may be shared across
+        sampled windows: its stats are cumulative, so the final write is
+        the whole-run total and last-write-wins merging is correct.
+        """
+        for cache in (self.l1d, self.l1i, self.l2):
+            tag = cache.name.lower()
+            for stat, value in cache.stats.to_dict().items():
+                registry.gauge(f"{prefix}{tag}.{stat}").set(value)
 
     # ------------------------------------------------------------------
     # functional warming (sampled simulation)

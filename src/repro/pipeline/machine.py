@@ -45,6 +45,8 @@ from ..isa.opcodes import (
 from ..isa.registers import NO_REG, ZERO_REG
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.ports import DataPorts
+from ..observe import profile as observe_profile
+from ..observe.events import FLUSH_BRANCH, VFETCH_ISSUE
 from .config import MachineConfig
 from .stats import SimStats
 
@@ -151,13 +153,21 @@ class Machine:
         hierarchy: Optional[MemoryHierarchy] = None,
         gshare=None,
         indirect=None,
+        observer=None,
     ) -> None:
         self.config = config
         self.trace = trace
         self.stats = SimStats()
+        # Observability: the default (observer=None) leaves every hook
+        # dormant — emission sites cost one `is not None` test and the
+        # run loop is the unobserved one.
+        self.observer = observer
+        bus = observer.bus if observer is not None else None
+        self._bus = bus
         # Sampled simulation passes in a pre-warmed hierarchy and
         # predictors (repro.sampling); exact mode builds them cold.
         self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(config.hierarchy)
+        self.hierarchy.bus = bus
         self.ports = DataPorts(config.ports, config.wide_bus)
         self.fetch_unit = FetchUnit(
             trace,
@@ -167,11 +177,12 @@ class Machine:
             gshare=gshare,
             indirect=indirect,
         )
+        self.fetch_unit.bus = bus
         #: architectural memory as of the last committed store — the image
         #: speculative vector loads read from.
         self.commit_memory: MemoryImage = trace.initial_memory.copy()
         self.engine: Optional[VectorizationEngine] = (
-            VectorizationEngine(config, self.stats) if config.vectorize else None
+            VectorizationEngine(config, self.stats, observer) if config.vectorize else None
         )
 
         self.rob: Deque[InFlight] = deque()
@@ -515,6 +526,11 @@ class Machine:
                 fl.redirected = True
                 stats.branch_mispredicts += 1
                 resolve = fl.done_at
+                if self._bus is not None:
+                    self._bus.emit(
+                        now, FLUSH_BRANCH, pc=fl.entry.pc, seq=fl.seq,
+                        resolve=resolve,
+                    )
                 self.fetch_unit.redirect(
                     fl.seq + 1, resolve + self._mispredict_penalty
                 )
@@ -649,6 +665,7 @@ class Machine:
         served_scalar = set()
         served_vector = set()
         blocked = False
+        bus = self._bus
         for line, members in groups:
             if blocked or ports.available() == 0:
                 break
@@ -680,6 +697,11 @@ class Machine:
                     reg.txn_ids[elem] = txn
                     spec_words += 1
                     served_vector.add((id(reg), elem))
+                    if bus is not None:
+                        bus.emit(
+                            now, VFETCH_ISSUE, pc=reg.pc,
+                            elem=elem, addr=addr, ready=ready,
+                        )
             if scalar_words:
                 ports.add_useful(txn, len(scalar_words))
             if spec_words:
@@ -976,7 +998,10 @@ class Machine:
             return stats
         now = 0
         safety = 2000 + 600 * total
-        step = self.step
+        obs = self.observer
+        observed = obs is not None and (
+            obs.metrics is not None or obs.profiler is not None
+        )
         # The loop allocates heavily (InFlight, dep tuples) but creates no
         # reference cycles worth collecting mid-run; pausing the cyclic GC
         # saves its generation-0 scans.  Restore the caller's setting after.
@@ -984,14 +1009,18 @@ class Machine:
         if gc_was_enabled:
             gc.disable()
         try:
-            while self.committed_count < total:
-                step(now)
-                now += 1
-                if now > safety:
-                    raise RuntimeError(
-                        f"simulation wedged: {self.committed_count}/{total} "
-                        f"committed after {now} cycles"
-                    )
+            if observed:
+                now = self._run_observed(total, safety)
+            else:
+                step = self.step
+                while self.committed_count < total:
+                    step(now)
+                    now += 1
+                    if now > safety:
+                        raise RuntimeError(
+                            f"simulation wedged: {self.committed_count}/{total} "
+                            f"committed after {now} cycles"
+                        )
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -1000,9 +1029,110 @@ class Machine:
             self.engine.finalize(now)
         stats.usefulness = self.ports.usefulness_histogram()
         stats.port_occupancy = self.ports.occupancy
+        if observed and obs.metrics is not None:
+            self._record_metrics(obs.metrics)
         return stats
 
+    def _run_observed(self, total: int, safety: int) -> int:
+        """The run loop for metrics-sampling and/or stage-profiled runs.
 
-def simulate(config: MachineConfig, trace: Trace) -> SimStats:
+        Split out of :meth:`run` so unobserved runs keep the bare loop;
+        results are bit-identical either way — these hooks only read
+        clocks and counters, never machine state.
+        """
+        obs = self.observer
+        profiler = obs.profiler
+        metrics = obs.metrics
+        series = metrics.series("ports.occupancy") if metrics is not None else None
+        ports = self.ports
+        n_ports = ports.n_ports
+        sample_mask = 0x0FFF  # one occupancy sample every 4096 cycles
+        last_busy = 0
+        step = self.step if profiler is None else self._step_profiled
+        now = 0
+        wall_start = observe_profile.perf_counter() if profiler is not None else 0.0
+        while self.committed_count < total:
+            step(now)
+            now += 1
+            if series is not None and not (now & sample_mask):
+                busy = ports.busy_port_cycles
+                series.append(now, (busy - last_busy) / ((sample_mask + 1) * n_ports))
+                last_busy = busy
+            if now > safety:
+                raise RuntimeError(
+                    f"simulation wedged: {self.committed_count}/{total} "
+                    f"committed after {now} cycles"
+                )
+        if profiler is not None:
+            profiler.wall_seconds += observe_profile.perf_counter() - wall_start
+        return now
+
+    def _step_profiled(self, now: int) -> None:
+        """:meth:`step` with wall-clock attribution around each stage.
+
+        The stage guards MUST stay in lock-step with :meth:`step` — the
+        profiled run stays bit-identical because the hooks only read the
+        clock.  Memory scheduling reached from inside the execute scan is
+        attributed to ``execute``; only the standalone port-scheduling
+        call shows up under ``memory``.
+        """
+        prof = self.observer.profiler
+        clock = observe_profile.perf_counter
+        ports = self.ports
+        ports.cycles += 1
+        ports._used_this_cycle = 0
+        engine = self.engine
+        if engine is not None and engine.pending_alu:
+            t0 = clock()
+            engine.tick(now)
+            prof.account("execute", clock() - t0, active=False)
+        rob = self.rob
+        if rob:
+            t = rob[0].done_at
+            if t is not None and t <= now:
+                t0 = clock()
+                self._commit(now)
+                prof.account("commit", clock() - t0)
+        if self.waiting or self._parked:
+            t0 = clock()
+            self._execute(now)
+            prof.account("execute", clock() - t0)
+        elif self.mem_queue or (engine is not None and engine.pending_fetches):
+            t0 = clock()
+            self._schedule_memory(now)
+            prof.account("memory", clock() - t0)
+        if self.fetch_queue:
+            t0 = clock()
+            self._dispatch(now)
+            prof.account("dispatch", clock() - t0)
+        fetch_queue = self.fetch_queue
+        room = self._fetch_queue_size - len(fetch_queue)
+        if room > 0:
+            t0 = clock()
+            fetched = self.fetch_unit.fetch_cycle_group(now, room)
+            for fi in fetched:
+                fetch_queue.append(fi)
+            prof.account("fetch", clock() - t0, active=bool(fetched))
+        prof.tick()
+
+    def _record_metrics(self, registry) -> None:
+        """End-of-run machine-level gauges (cache and port accounting).
+
+        Whole-run ``sim.*`` counters are recorded by the experiment layer
+        (:func:`repro.observe.metrics.record_sim_stats`) so sampled-mode
+        windows, which each run their own machine against a shared
+        observer, do not double-count.  Gauges are safe either way: the
+        last window's write wins, and the hierarchy's cumulative stats
+        make that the whole-run total.
+        """
+        self.hierarchy.record_metrics(registry)
+        ports = self.ports
+        registry.gauge("ports.read_transactions").set(ports.read_transactions)
+        registry.gauge("ports.write_transactions").set(ports.write_transactions)
+        registry.gauge("ports.busy_port_cycles").set(ports.busy_port_cycles)
+        registry.gauge("ports.occupancy.final").set(ports.occupancy)
+
+
+def simulate(config: MachineConfig, trace: Trace, observer=None) -> SimStats:
     """Run ``trace`` through a machine built from ``config`` (convenience)."""
-    return Machine(config, trace).run()
+    return Machine(config, trace, observer=observer).run()

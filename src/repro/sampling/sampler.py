@@ -32,6 +32,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Tuple
 
 from ..functional.trace import Trace
+from ..observe.events import SAMPLE_WINDOW
 from ..pipeline.config import MachineConfig
 from ..pipeline.machine import Machine
 from ..pipeline.stats import SimStats
@@ -154,6 +155,7 @@ def run_sampled(
     trace: Trace,
     sampling: Optional[SamplingConfig] = None,
     checkpoint_scope: Optional[Dict] = None,
+    observer=None,
 ) -> SimStats:
     """Simulate ``trace`` under ``config`` by sampling.
 
@@ -163,6 +165,12 @@ def run_sampled(
     in-process).  Imports of the cache layer stay inside the function:
     :mod:`repro.experiments` imports the runner, which imports this
     package, so a module-level import would cycle.
+
+    ``observer`` (optional :class:`repro.observe.Observer`) threads into
+    every window's machine; the sampler additionally emits one
+    ``sample.window`` event per detailed window and records the
+    per-window IPC distribution as a ``sampled.window.ipc`` series
+    (x = window start position in the full trace).
     """
     sampling = sampling or SamplingConfig()
     n = len(trace.entries)
@@ -218,10 +226,23 @@ def run_sampled(
             hierarchy=state.hierarchy,
             gshare=state.gshare,
             indirect=state.indirect,
+            observer=observer,
         )
         if vec is not None:
             vec.prepare(machine)
-        aggregate.add(machine.run(), weight)
+        window_stats = machine.run()
+        aggregate.add(window_stats, weight)
+        if observer is not None:
+            if observer.bus is not None:
+                observer.bus.emit(
+                    window_stats.cycles, SAMPLE_WINDOW,
+                    start=start, end=end, weight=round(weight, 6),
+                    cycles=window_stats.cycles, ipc=round(window_stats.ipc, 6),
+                )
+            if observer.metrics is not None:
+                observer.metrics.series("sampled.window.ipc").append(
+                    start, window_stats.ipc
+                )
         # Window boundary: drop timing residue, adopt the committed image.
         state.hierarchy.drain_mshrs()
         if vec is not None:

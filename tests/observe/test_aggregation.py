@@ -1,0 +1,102 @@
+"""Metrics aggregation across the experiment fabric.
+
+One registry handed to :func:`run_grid` (or threaded through
+:func:`run_point`) must end up with the same aggregate totals whichever
+path produced each point — fresh pool-worker simulation, parent disk-cache
+hit, or in-process memo hit — because ``sim.*`` counters are synthesized
+uniformly from the cached stats and machine-level extras ride the
+persisted disk payloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.parallel import GridPoint, GridReport, run_grid
+from repro.observe import MetricsRegistry, Observer
+
+SCALE = 1_500
+
+POINTS = [
+    GridPoint("li", 4, 1, "V", SCALE),
+    GridPoint("compress", 4, 1, "V", SCALE),
+]
+
+
+@pytest.fixture
+def fresh_state(tmp_path, monkeypatch):
+    """Cold memo + private, enabled disk cache for one test."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    runner.clear_memo()
+    yield
+    runner.clear_memo()
+
+
+def _committed_total(results):
+    return sum(stats.committed for stats in results.values())
+
+
+def test_grid_aggregates_identically_across_all_paths(fresh_state):
+    # Path 1: cold — every point simulated (in pool workers).
+    cold = MetricsRegistry()
+    cold_report = GridReport()
+    results = run_grid(POINTS, jobs=2, report=cold_report, metrics=cold)
+    assert cold_report.simulated == len(POINTS)
+    expected = _committed_total(results)
+    assert cold.counter("sim.committed").value == expected
+    # machine-level extras shipped back across the pickle boundary
+    assert any(name.startswith("engine.") for name in cold.names())
+    assert any(name.startswith("mem.") for name in cold.names())
+
+    # Path 2: memo-warm — nothing simulated, sim.* synthesized from memo.
+    warm = MetricsRegistry()
+    warm_report = GridReport()
+    run_grid(POINTS, jobs=2, report=warm_report, metrics=warm)
+    assert warm_report.memo_hits == len(POINTS)
+    assert warm.counter("sim.committed").value == expected
+
+    # Path 3: disk-warm — persisted payloads replayed in the parent.
+    runner.clear_memo()
+    disk = MetricsRegistry()
+    disk_report = GridReport()
+    run_grid(POINTS, jobs=2, report=disk_report, metrics=disk)
+    assert disk_report.disk_hits == len(POINTS)
+    assert disk.counter("sim.committed").value == expected
+    assert any(name.startswith("engine.") for name in disk.names())
+    # full machine-level agreement between the cold and disk aggregates
+    assert disk.to_dict() == cold.to_dict()
+
+
+def test_grid_without_registry_records_nothing(fresh_state):
+    report = GridReport()
+    run_grid(POINTS, jobs=1, report=report)
+    assert report.requested == len(POINTS)  # plain path still works
+
+
+def test_run_point_feeds_attached_registry_on_every_path(fresh_state):
+    observer = Observer.measuring()
+    stats = runner.run_point("li", 4, 1, "V", SCALE, observer=observer)
+    first = observer.metrics.counter("sim.committed").value
+    assert first == stats.committed
+    # memo hit: the same registry keeps summing
+    runner.run_point("li", 4, 1, "V", SCALE, observer=observer)
+    assert observer.metrics.counter("sim.committed").value == 2 * first
+    # disk hit (fresh memo): machine-level extras come from the payload
+    runner.clear_memo()
+    fresh = Observer.measuring()
+    runner.run_point("li", 4, 1, "V", SCALE, observer=fresh)
+    assert fresh.metrics.counter("sim.committed").value == first
+    assert any(name.startswith("engine.") for name in fresh.metrics.names())
+
+
+def test_observer_does_not_change_grid_results(fresh_state):
+    plain = run_grid(POINTS, jobs=1)
+    runner.clear_memo()
+    import shutil, os
+
+    shutil.rmtree(os.environ["REPRO_CACHE_DIR"], ignore_errors=True)
+    observed = run_grid(POINTS, jobs=1, metrics=MetricsRegistry())
+    for point in POINTS:
+        assert observed[point] == plain[point]
