@@ -20,6 +20,10 @@ The package layers, bottom-up:
 * :mod:`repro.observe` — structured observability: typed event tracing,
   a metrics registry, and pipeline-stage profiling (zero overhead when
   off);
+* :mod:`repro.verify` — differential fuzzing and invariant auditing:
+  random-program campaigns through a three-way oracle (interpreter /
+  scalar machine / V-mode machine), a coverage-gated corpus, and a
+  divergence minimizer (``python -m repro fuzz``);
 * :mod:`repro.api` — the **stable facade**: :func:`repro.api.simulate`,
   :func:`repro.api.grid`, :func:`repro.api.trace` and friends, with
   versioned JSON-able result objects.  External callers should start
@@ -64,9 +68,19 @@ from . import (
     memory,
     observe,
     pipeline,
+    verify,
     workloads,
 )
-from .api import GridPoint, GridReport, RunResult, TraceReport, grid, simulate, trace
+from .api import (
+    GridPoint,
+    GridReport,
+    RunResult,
+    TraceReport,
+    fuzz,
+    grid,
+    simulate,
+    trace,
+)
 
 __version__ = "1.1.0"
 
@@ -81,11 +95,13 @@ __all__ = [
     "memory",
     "observe",
     "pipeline",
+    "verify",
     "workloads",
     "GridPoint",
     "GridReport",
     "RunResult",
     "TraceReport",
+    "fuzz",
     "grid",
     "simulate",
     "trace",

@@ -15,7 +15,17 @@ A thin shell over the stable :mod:`repro.api` facade.  Commands:
   JSONL (one event object per line); ``--events`` filters by kind
   (``validate.fail``), group (``validation,squash``), or subsystem
   prefix (``vrmt``) — see ``docs/OBSERVABILITY.md`` for the taxonomy;
-* ``cache {info,clear}`` — inspect or drop the persistent result cache;
+* ``fuzz run [--seed S] [--max-programs N] [--budget-seconds T]
+  [--width W] [--ports P] [--artifact-dir DIR] [--no-corpus]
+  [--no-minimize] [--json]`` — differential fuzzing: random programs
+  through the interpreter / scalar-machine / V-mode-machine oracle
+  (:mod:`repro.verify`); exits nonzero if any divergence was found
+  (each one minimized and written as a ``.repro.json`` artifact);
+* ``fuzz replay ARTIFACT [--json]`` — re-execute a saved reproducer and
+  compare against its recorded verdict;
+* ``fuzz corpus [--json]`` — show the persistent fuzz corpus;
+* ``cache {info,clear}`` — inspect or drop the persistent result cache
+  (the fuzz corpus is a section of it);
 * ``list`` — list the available benchmarks.
 
 ``--sampled`` switches the simulations to sampled mode (functional
@@ -208,6 +218,60 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.action == "run":
+        report = api.fuzz(
+            seed=args.seed,
+            max_programs=args.max_programs,
+            budget_seconds=args.budget_seconds,
+            width=args.width,
+            ports=args.ports,
+            max_instructions=args.max_instructions,
+            artifact_dir=args.artifact_dir,
+            use_corpus=not args.no_corpus,
+            minimize=not args.no_minimize,
+            log=None if args.json else lambda line: print(f"fuzz: {line}", file=sys.stderr),
+        )
+        if args.json:
+            print(json.dumps(report.to_dict(), sort_keys=True))
+        else:
+            print(report.summary())
+        return 0 if report.ok else 1
+    if args.action == "replay":
+        try:
+            result = api.fuzz_replay(args.artifact)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot replay {args.artifact}: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(result, sort_keys=True))
+        else:
+            recorded = result["recorded"]["verdict"]
+            replayed = result["replayed"]["verdict"]
+            print(f"recorded verdict: {recorded}")
+            print(f"replayed verdict: {replayed}")
+            for divergence in result["replayed"]["divergences"]:
+                print(
+                    f"  [{divergence['stage']}/{divergence['kind']}] "
+                    f"{divergence['detail']}"
+                )
+            print("bit-for-bit match" if result["matches"] else "REPORTS DIFFER")
+        return 0 if result["matches"] else 1
+    # corpus
+    from .verify import Corpus
+
+    info = Corpus().info()
+    if args.json:
+        print(json.dumps({"schema": "repro.fuzz.corpus/v1", **info}, sort_keys=True))
+    else:
+        print(f"root:           {info['root']}")
+        print(f"entries:        {info['entries']}")
+        print(f"coverage pairs: {info['coverage_pairs']}")
+        for kind, buckets in info["coverage_kinds"].items():
+            print(f"  {kind:<18}{buckets} bucket(s)")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "info":
         info = diskcache.cache_info()
@@ -217,6 +281,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
             ("stats", "stats"),
             ("traces", "trace"),
             ("checkpoints", "checkpoint"),
+            ("corpus", "corpus"),
         )
         for label, key in sections:
             print(
@@ -228,8 +293,9 @@ def cmd_cache(args: argparse.Namespace) -> int:
             f"{info['total_bytes']} bytes"
         )
     else:  # clear
-        removed = diskcache.clear_cache()
-        print(f"removed {removed} cache entries")
+        removed = diskcache.clear_cache(section=args.section)
+        what = f"{args.section} " if args.section else ""
+        print(f"removed {removed} {what}cache entries")
     return 0
 
 
@@ -356,8 +422,60 @@ def main(argv=None) -> int:
     )
     p.set_defaults(fn=cmd_trace)
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: interpreter vs scalar vs V-mode machine",
+    )
+    fuzz_sub = p.add_subparsers(dest="action", required=True)
+
+    pr = fuzz_sub.add_parser("run", help="run a bounded fuzz campaign")
+    pr.add_argument("--seed", type=int, default=0, help="campaign RNG seed")
+    pr.add_argument(
+        "--max-programs", type=_positive_int, default=100, metavar="N",
+        help="stop after N generated programs",
+    )
+    pr.add_argument(
+        "--budget-seconds", type=float, default=None, metavar="T",
+        help="stop starting new programs after T seconds (CI smoke mode)",
+    )
+    pr.add_argument("--width", type=int, default=4, choices=(4, 8))
+    pr.add_argument("--ports", type=int, default=1, choices=(1, 2, 4))
+    pr.add_argument(
+        "--max-instructions", type=_positive_int, default=50_000, metavar="N",
+        help="per-program dynamic instruction cap",
+    )
+    pr.add_argument(
+        "--artifact-dir", default="fuzz-artifacts", metavar="DIR",
+        help="where minimized .repro.json reproducers are written",
+    )
+    pr.add_argument(
+        "--no-corpus", action="store_true",
+        help="skip the persistent corpus (pure seeded generation)",
+    )
+    pr.add_argument(
+        "--no-minimize", action="store_true",
+        help="report divergences without delta-debugging them",
+    )
+    _add_json_argument(pr)
+    pr.set_defaults(fn=cmd_fuzz)
+
+    pp = fuzz_sub.add_parser("replay", help="re-execute a .repro.json artifact")
+    pp.add_argument("artifact", help="path to a .repro.json reproducer")
+    _add_json_argument(pp)
+    pp.set_defaults(fn=cmd_fuzz)
+
+    pc = fuzz_sub.add_parser("corpus", help="show the persistent fuzz corpus")
+    _add_json_argument(pc)
+    pc.set_defaults(fn=cmd_fuzz)
+
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("action", choices=("info", "clear"))
+    p.add_argument(
+        "--section",
+        choices=("stats", "trace", "checkpoint", "corpus"),
+        default=None,
+        help="clear only one cache section (default: all)",
+    )
     p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("list", help="list the benchmark suite")

@@ -15,12 +15,17 @@ Entry points:
 * :func:`trace` — one instrumented, cache-bypassing run capturing typed
   events → :class:`TraceReport` (JSONL-exportable);
 * :func:`figure` / :func:`headline` — the paper's evaluation artifacts,
-  batched through :func:`grid` automatically.
+  batched through :func:`grid` automatically;
+* :func:`fuzz` / :func:`fuzz_replay` — the differential fuzzing
+  subsystem (:mod:`repro.verify`): bounded campaigns of random programs
+  through the interpreter/scalar/V-mode oracle, and replay of saved
+  ``.repro.json`` reproducer artifacts.
 
 Result objects expose ``to_dict()`` returning versioned, JSON-serializable
 payloads (``schema`` keys ``repro.run/v1``, ``repro.grid/v1``,
-``repro.trace/v1``, ``repro.figure/v1``, ``repro.headline/v1``); the
-CLI's ``--json`` modes print exactly these.
+``repro.trace/v1``, ``repro.figure/v1``, ``repro.headline/v1``,
+``repro.fuzz/v1``, ``repro.fuzz.replay/v1``); the CLI's ``--json``
+modes print exactly these.
 """
 
 from __future__ import annotations
@@ -44,9 +49,11 @@ from .observe import (
     VALIDATE_PASS,
     FLUSH_BRANCH,
 )
+from . import verify as _verify
 from .pipeline.machine import Machine
 from .pipeline.stats import SimStats
 from .sampling import SamplingConfig, run_sampled
+from .verify import CampaignReport, OracleConfig
 from .workloads.spec95 import ALL_BENCHMARKS
 from .workloads.spec95 import cached_trace as _cached_trace
 
@@ -438,19 +445,79 @@ def headline(
     return _figures.headline_claims(scale, sampling)
 
 
+# ---------------------------------------------------------------------------
+# fuzz (differential verification; see repro.verify)
+# ---------------------------------------------------------------------------
+
+
+def fuzz(
+    *,
+    seed: int = 0,
+    max_programs: int = 100,
+    budget_seconds: Optional[float] = None,
+    width: int = 4,
+    ports: int = 1,
+    scalar_mode: str = "noIM",
+    max_instructions: int = 50_000,
+    artifact_dir: str = "fuzz-artifacts",
+    use_corpus: bool = True,
+    minimize: bool = True,
+    log=None,
+) -> "_verify.CampaignReport":
+    """Run a differential fuzz campaign (interpreter vs scalar vs V-mode).
+
+    Generates seeded random programs (mutating the persistent corpus once
+    it is non-empty), runs each through the three-way oracle, keeps
+    behaviourally novel inputs, and minimizes + persists any divergence
+    as a ``.repro.json`` artifact under ``artifact_dir``.  The returned
+    :class:`repro.verify.CampaignReport` serializes to the versioned
+    ``repro.fuzz/v1`` schema; ``report.ok`` is the CI gate.
+    """
+    oracle = _verify.OracleConfig(
+        width=width,
+        ports=ports,
+        scalar_mode=scalar_mode,
+        max_instructions=max_instructions,
+    )
+    return _verify.run_campaign(
+        seed=seed,
+        max_programs=max_programs,
+        budget_seconds=budget_seconds,
+        oracle=oracle,
+        artifact_dir=artifact_dir,
+        use_corpus=use_corpus,
+        minimize=minimize,
+        log=log,
+    )
+
+
+def fuzz_replay(path) -> Dict:
+    """Re-execute a ``.repro.json`` reproducer artifact.
+
+    Returns the versioned ``repro.fuzz.replay/v1`` payload: the recorded
+    oracle report, the freshly replayed one, and ``matches`` (bit-for-bit
+    equality of the two).
+    """
+    return _verify.replay_artifact(path)
+
+
 __all__ = [
     "ALL_BENCHMARKS",
+    "CampaignReport",
     "EXPERIMENT_SCALE",
     "FIGURES",
     "FigureResult",
     "FigureSpec",
     "GridPoint",
     "GridReport",
+    "OracleConfig",
     "RunResult",
     "SamplingConfig",
     "TraceReport",
     "figure",
     "figure_names",
+    "fuzz",
+    "fuzz_replay",
     "get_figure",
     "grid",
     "headline",

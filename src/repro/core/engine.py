@@ -65,6 +65,15 @@ Number = Union[int, float]
 #: sentinel distinguishing "no scalar source seen" from a captured None.
 _NO_SCALAR = object()
 
+#: FAULT-INJECTION HOOK — test use only.  True disables the §3.6 store
+#: range coherence check entirely, re-creating the classic silent-
+#: corruption bug the differential oracle exists to catch.  The
+#: tests/verify suite flips it (via monkeypatch) to prove the oracle
+#: detects the resulting divergence and that the minimizer shrinks the
+#: offending program to a tiny reproducer.  Production code must never
+#: set it.
+_DEBUG_SKIP_STORE_RANGE_CHECK = False
+
 
 class MisspeculationError(AssertionError):
     """A committed validation disagreed with the architectural value —
@@ -220,7 +229,10 @@ class VectorizationEngine:
         if mapping is not None:
             return self._load_validation(pc, addr, mapping, now)
         if vectorizable and stride is not None:
-            return self._new_load_instance(pc, addr, stride, now, chained=False)
+            return self._new_load_instance(
+                pc, addr, stride, now, chained=False,
+                fp=entry.op is Opcode.FLD,
+            )
         return _SCALAR_DECISION
 
     def _load_validation(self, pc: int, addr: int, mapping: VRMTEntry, now: int) -> Decision:
@@ -237,7 +249,8 @@ class VectorizationEngine:
             )
             base = prev.pred_addrs[-1] + stride
             decision = self._new_load_instance(
-                pc, base, stride, now, chained=True, actual_addr=addr
+                pc, base, stride, now, chained=True, actual_addr=addr,
+                fp=prev.fp_load,
             )
             if decision.kind is DecodeKind.SCALAR:
                 # Pool empty: stay scalar this instance, keep the mapping so
@@ -267,6 +280,7 @@ class VectorizationEngine:
         now: int,
         chained: bool,
         actual_addr: Optional[int] = None,
+        fp: bool = False,
     ) -> Decision:
         """Allocate a register and launch element fetches for a load."""
         prev_state = self.vrmt.table.peek(pc)
@@ -276,6 +290,7 @@ class VectorizationEngine:
             self.stats.vreg_alloc_failures += 1
             self._sweep_frees(now)
             return Decision(DecodeKind.SCALAR)
+        reg.fp_load = fp
         reg.set_load_addresses(base_addr, stride)
         ahead = self._fetch_ahead
         self._enqueue_load_fetches(reg, self.vl - 1 if ahead <= 0 else ahead)
@@ -732,11 +747,29 @@ class VectorizationEngine:
         still had speculative (unvalidated) elements — the machine must
         then squash every younger instruction.
         """
+        if _DEBUG_SKIP_STORE_RANGE_CHECK:
+            return False
         conflict = False
         bus = self._bus
         hit_pcs: List[int] = []
         for reg in self.vrf.live_registers():
-            if reg.defunct or not reg.covers(addr):
+            if not reg.covers(addr):
+                continue
+            if reg.defunct:
+                # A defunct register takes no *new* validations, but ones
+                # already in flight (U set) against unvalidated elements
+                # can still reach commit carrying a value fetched before
+                # this store — the store must still force the flush.  (The
+                # mapping drop / TL punishment already happened when the
+                # register went defunct.)
+                if not any(
+                    (not reg.v_flag[k]) and reg.u_flag[k]
+                    and reg.pred_addrs[k] == addr
+                    for k in range(reg.start_offset, reg.length)
+                ):
+                    continue
+                conflict = True
+                hit_pcs.append(reg.pc)
                 continue
             # Only elements that are still speculative can be corrupted:
             # an already-validated element's load instance committed before

@@ -44,6 +44,7 @@ class VectorRegister:
         "gen",
         "pc",
         "is_load",
+        "fp_load",
         "length",
         "start_offset",
         "values",
@@ -76,6 +77,10 @@ class VectorRegister:
         self.gen = gen
         self.pc = pc
         self.is_load = is_load
+        #: FLD (vs LD) register: element fetches coerce to float the way
+        #: the architectural write-back does (set by the engine at
+        #: promotion; LD elements wrap to int64 instead).
+        self.fp_load = False
         self.length = length
         self.start_offset = start_offset
         self.values: List[Number] = [0] * length

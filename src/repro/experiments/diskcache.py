@@ -14,7 +14,11 @@ bit for bit.  This module caches both layers on disk:
 * **checkpoints/** — warmed microarchitectural state (cache contents,
   predictor tables, architectural memory) at sampled-window boundaries,
   written by :mod:`repro.sampling` so re-runs and pool workers
-  fast-forward to a window instead of re-streaming the warmer.
+  fast-forward to a window instead of re-streaming the warmer;
+* **corpus/** — interesting fuzzing inputs kept by the differential
+  fuzzer (:mod:`repro.verify.fuzzer`): program genomes plus the coverage
+  signature that earned them a slot.  Content-keyed only (no source
+  digest — inputs outlive simulator edits).
 
 Keying — entries self-invalidate when anything that could change the
 result changes:
@@ -137,6 +141,23 @@ def _traces_dir() -> pathlib.Path:
 
 def _checkpoints_dir() -> pathlib.Path:
     return cache_root() / "checkpoints"
+
+
+def _corpus_dir() -> pathlib.Path:
+    return cache_root() / "corpus"
+
+
+def corpus_dir() -> pathlib.Path:
+    """The fuzzing corpus directory (see :mod:`repro.verify.fuzzer`).
+
+    The corpus lives beside the result caches so one knob
+    (``REPRO_CACHE_DIR``) relocates everything, CI can cache it between
+    runs, and ``cache info``/``cache clear`` account for it — but unlike
+    the stats/trace sections its entries are *inputs*, keyed by content
+    alone, and survive simulator edits (an interesting program stays
+    interesting across timing-model changes).
+    """
+    return _corpus_dir()
 
 
 # ---------------------------------------------------------------------------
@@ -439,6 +460,58 @@ def store_checkpoint(key: str, payload: Dict) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Corpus entries (fuzzing inputs; see repro.verify.fuzzer)
+# ---------------------------------------------------------------------------
+
+
+def corpus_key(payload: Dict) -> str:
+    """Content-hash key for one corpus entry (pure function of the input).
+
+    Deliberately *not* salted with :func:`source_digest`: corpus entries
+    are fuzzing inputs, not derived results, and must survive simulator
+    edits.
+    """
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def store_corpus_entry(key: str, payload: Dict) -> bool:
+    """Persist one corpus entry (atomic); False when persistence is off."""
+    if not cache_enabled():
+        return False
+    _atomic_write(_corpus_dir() / f"{key}.json", json.dumps(payload, sort_keys=True))
+    return True
+
+
+def load_corpus_entry(key: str) -> Optional[Dict]:
+    """One corpus entry by key, or None on miss/corruption (file dropped)."""
+    if not cache_enabled():
+        return None
+    path = _corpus_dir() / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        if not isinstance(payload, dict):
+            raise ValueError("corpus entry is not an object")
+    except FileNotFoundError:
+        return None
+    except (ValueError, OSError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    return payload
+
+
+def corpus_keys() -> list:
+    """Sorted keys of every persisted corpus entry."""
+    directory = _corpus_dir()
+    if not cache_enabled() or not directory.is_dir():
+        return []
+    return sorted(p.stem for p in directory.iterdir() if p.suffix == ".json")
+
+
+# ---------------------------------------------------------------------------
 # Maintenance (the ``python -m repro cache`` subcommand)
 # ---------------------------------------------------------------------------
 
@@ -448,6 +521,7 @@ _SECTIONS = {
     "stats": (_stats_dir, (".json",)),
     "trace": (_traces_dir, (".jsonl",)),
     "checkpoint": (_checkpoints_dir, (".ckpt",)),
+    "corpus": (_corpus_dir, (".json",)),
 }
 
 
@@ -479,10 +553,21 @@ def cache_info() -> Dict:
     return info
 
 
-def clear_cache() -> int:
-    """Delete every cache entry; returns the number of files removed."""
+def clear_cache(section: Optional[str] = None) -> int:
+    """Delete cache entries; returns the number of files removed.
+
+    ``section`` restricts the sweep to one of :data:`_SECTIONS` (e.g.
+    ``"corpus"``); None clears everything.
+    """
+    if section is not None and section not in _SECTIONS:
+        raise ValueError(
+            f"unknown cache section {section!r}; one of {sorted(_SECTIONS)}"
+        )
     removed = 0
-    for directory_fn, suffixes in _SECTIONS.values():
+    sections = (
+        _SECTIONS.values() if section is None else (_SECTIONS[section],)
+    )
+    for directory_fn, suffixes in sections:
         directory = directory_fn()
         if not directory.is_dir():
             continue

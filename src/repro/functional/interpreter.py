@@ -90,7 +90,13 @@ class Interpreter:
 
             if op is Opcode.LD or op is Opcode.FLD:
                 addr = s64(int(s1)) + imm
-                value = memory.load(addr)
+                # Record what the destination register receives (LD wraps
+                # to int64, FLD coerces to float), not the raw memory
+                # word: the word can be the other domain's type — e.g. an
+                # FST'd float re-read by LD — and the trace value is what
+                # the timing model's vector elements validate against.
+                word = memory.load(addr)
+                value = float(word) if op is Opcode.FLD else s64(int(word))
                 self._write(rd, value)
             elif op is Opcode.ST or op is Opcode.FST:
                 addr = s64(int(s1)) + imm

@@ -32,6 +32,7 @@ from typing import Iterable, Optional
 
 from .events import (
     CACHE_MISS,
+    coverage_signature,
     EVENT_GROUPS,
     EVENT_KINDS,
     FETCH_REDIRECT,
@@ -124,6 +125,7 @@ __all__ = [
     "STAGES",
     "record_sim_stats",
     "resolve_event_kinds",
+    "coverage_signature",
     "EVENT_KINDS",
     "EVENT_GROUPS",
     "TL_PROMOTE",

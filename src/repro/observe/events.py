@@ -94,6 +94,26 @@ EVENT_GROUPS: Dict[str, Tuple[str, ...]] = {
 }
 
 
+def coverage_signature(counts: Dict[str, int]) -> frozenset:
+    """Bucketed per-kind event counts, as a behavioural coverage signal.
+
+    The differential fuzzer (:mod:`repro.verify`) keeps an input in its
+    corpus when the input's signature contains a ``(kind, bucket)`` pair
+    the corpus has not seen before.  Raw counts would make every input
+    "new"; following the classic AFL scheme, counts collapse into
+    power-of-two buckets (1, 2, 3-4, 5-8, 9-16, ...) so only
+    order-of-magnitude changes in how often a mechanism fires — or a kind
+    firing at all — count as new behaviour.
+    """
+    signature = set()
+    for kind, count in counts.items():
+        if count <= 0:
+            continue
+        bucket = count if count <= 2 else 1 << (count - 1).bit_length()
+        signature.add((kind, bucket))
+    return frozenset(signature)
+
+
 def resolve_event_kinds(spec: Optional[Iterable[str]]) -> Optional[frozenset]:
     """Expand a user filter into a kind set (None = everything).
 

@@ -34,6 +34,7 @@ from typing import Deque, Dict, List, Optional, Tuple, Union
 from ..core.engine import DecodeKind, VectorizationEngine
 from ..frontend.fetch import FetchUnit, FetchedInstr
 from ..functional.memory import MemoryImage
+from ..functional.semantics import s64
 from ..functional.trace import Trace, TraceEntry
 from ..isa.opcodes import (
     FU_LATENCY,
@@ -692,7 +693,15 @@ class Machine:
                     self.stats.scalar_loads_to_memory += 1
                 else:
                     reg, elem, addr = payload
-                    reg.values[elem] = self.commit_memory.load(addr)
+                    # Apply the architectural write-back conversion (LD
+                    # wraps to int64, FLD coerces to float): a raw memory
+                    # word can be the other domain's type — e.g. an FST'd
+                    # float re-read by LD — and downstream vector ALU
+                    # instances must see what a scalar consumer would.
+                    word = self.commit_memory.load(addr)
+                    reg.values[elem] = (
+                        float(word) if reg.fp_load else s64(int(word))
+                    )
                     reg.r_time[elem] = ready
                     reg.txn_ids[elem] = txn
                     spec_words += 1

@@ -1,0 +1,81 @@
+"""repro.verify — differential fuzzing and invariant auditing.
+
+The paper's contract (§3) is that speculative dynamic vectorization is
+*architecturally invisible*: a V-mode machine commits exactly the state
+a scalar machine — and the functional interpreter — would.  The curated
+kernels and the Hypothesis properties sample that contract; this package
+audits it adversarially and continuously:
+
+* :mod:`~repro.verify.fuzzer` — seeded random program genomes
+  (strided/stride-breaking loads, RMW stores into live vector ranges,
+  data-dependent branches, loop-carried dependences, FP/int mixes),
+  mutation operators, and a persistent on-disk corpus gated by event
+  coverage;
+* :mod:`~repro.verify.oracle` — the three-way differential oracle
+  (interpreter vs scalar machine vs V-mode machine with invariants
+  armed) diffing final architectural state and commit-stream prefixes;
+* :mod:`~repro.verify.minimize` — delta-debugging of diverging programs
+  into minimal reproducers and self-contained ``.repro.json`` artifacts;
+* :mod:`~repro.verify.campaign` — the bounded fuzz loop behind
+  ``python -m repro fuzz run`` and the CI ``fuzz-smoke`` lane.
+
+See ``docs/TESTING.md`` for the test pyramid and triage workflow.
+"""
+
+from .campaign import CampaignReport, DivergenceRecord, run_campaign
+from .fuzzer import (
+    Corpus,
+    Genome,
+    LoopSpec,
+    generate_genome,
+    mutate_genome,
+    synthesize,
+)
+from .minimize import (
+    ARTIFACT_SCHEMA,
+    instruction_count,
+    load_artifact,
+    minimize_program,
+    program_from_dict,
+    program_to_dict,
+    replay_artifact,
+    save_artifact,
+)
+from .oracle import (
+    AGREE,
+    DIVERGE,
+    INVALID,
+    Divergence,
+    OracleConfig,
+    OracleReport,
+    diff_memory,
+    run_oracle,
+)
+
+__all__ = [
+    "AGREE",
+    "ARTIFACT_SCHEMA",
+    "CampaignReport",
+    "Corpus",
+    "DIVERGE",
+    "Divergence",
+    "DivergenceRecord",
+    "Genome",
+    "INVALID",
+    "LoopSpec",
+    "OracleConfig",
+    "OracleReport",
+    "diff_memory",
+    "generate_genome",
+    "instruction_count",
+    "load_artifact",
+    "minimize_program",
+    "mutate_genome",
+    "program_from_dict",
+    "program_to_dict",
+    "replay_artifact",
+    "run_campaign",
+    "run_oracle",
+    "save_artifact",
+    "synthesize",
+]

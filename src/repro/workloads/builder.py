@@ -28,6 +28,16 @@ from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS, fp_reg, int_reg
 
 Number = Union[int, float]
 
+#: Words in the reserved guard band directly below the data segment.
+STACK_GUARD_WORDS = 64
+#: The guard band ``[STACK_GUARD_BASE, DATA_BASE)`` separates the
+#: low-address region (code indices, scratch) from builder-allocated data.
+#: Nothing may store into it: a fuzz-shaped program whose computed store
+#: target lands there is aliasing outside its own data segment, and such
+#: stores can mask real coherence divergences (the store "hits" words no
+#: vector range will ever cover instead of the live array it was aimed at).
+STACK_GUARD_BASE = DATA_BASE - STACK_GUARD_WORDS * WORD_SIZE
+
 
 class BuilderError(Exception):
     """Raised on misuse of the builder (register exhaustion, bad label...)."""
@@ -82,6 +92,26 @@ class ProgramBuilder:
     def word(self, value: Number = 0) -> int:
         """Allocate a single initialized word; return its address."""
         return self.array(1, [value])
+
+    @staticmethod
+    def check_store_target(addr: int) -> int:
+        """Validate a statically-known store target address; returns it.
+
+        Rejects (``BuilderError``) targets inside the stack guard band
+        ``[STACK_GUARD_BASE, DATA_BASE)``.  Misaligned targets are left to
+        the architectural :class:`~repro.functional.memory.MemoryImage` to
+        reject at run time.  Generators that compute concrete store
+        addresses (the fuzzer's RMW/stride-perturbation operators) call
+        this before committing to an offset, so guard-aliasing stores are
+        rejected loudly instead of silently landing outside the data
+        segment.
+        """
+        if STACK_GUARD_BASE <= addr < DATA_BASE:
+            raise BuilderError(
+                f"store target {addr:#x} aliases the stack guard region "
+                f"[{STACK_GUARD_BASE:#x}, {DATA_BASE:#x})"
+            )
+        return addr
 
     # -- register pool ---------------------------------------------------------
 
@@ -244,12 +274,16 @@ class ProgramBuilder:
         self.emit(Instruction(Opcode.LD, rd=rd, rs1=base, imm=offset))
 
     def st(self, rs: int, offset: int, base: int) -> None:
+        if base == 0:
+            self.check_store_target(offset)
         self.emit(Instruction(Opcode.ST, rs2=rs, rs1=base, imm=offset))
 
     def fld(self, rd: int, offset: int, base: int) -> None:
         self.emit(Instruction(Opcode.FLD, rd=rd, rs1=base, imm=offset))
 
     def fst(self, rs: int, offset: int, base: int) -> None:
+        if base == 0:
+            self.check_store_target(offset)
         self.emit(Instruction(Opcode.FST, rs2=rs, rs1=base, imm=offset))
 
     def beq(self, rs1: int, rs2: int, label: str) -> None:

@@ -2,12 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.functional import run_program
 from repro.isa import assemble
 from repro.pipeline import make_config
 from repro.pipeline.machine import Machine
+
+# CI runs the property suites derandomized so a red build is reproducible
+# from the log alone (no flaky shrink sessions, no per-run example sets);
+# the deadline is dropped because shared runners jitter enough to trip it.
+# Select with HYPOTHESIS_PROFILE=ci (the CI workflow exports it); local
+# runs keep the default randomized profile, which is what finds new bugs.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(autouse=True, scope="session")

@@ -8,10 +8,13 @@ from repro.pipeline.stats import SimStats
 class FakeLoadEntry:
     """Minimal stand-in for a TraceEntry as decode_load sees it."""
 
-    def __init__(self, seq, pc, addr):
+    def __init__(self, seq, pc, addr, op=None):
+        from repro.isa.opcodes import Opcode
+
         self.seq = seq
         self.pc = pc
         self.addr = addr
+        self.op = op or Opcode.LD
         self.rd = 3
         self.rs1 = 1
         self.rs2 = -1

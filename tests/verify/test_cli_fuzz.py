@@ -1,0 +1,82 @@
+"""The ``python -m repro fuzz`` command surface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_fuzz_run_smoke(capsys, tmp_path):
+    code = main(
+        ["fuzz", "run", "--max-programs", "6", "--seed", "3",
+         "--artifact-dir", str(tmp_path / "fa"), "--no-corpus"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "fuzz: 6 programs" in out
+    assert "no divergences" in out
+
+
+def test_fuzz_run_json(capsys, tmp_path):
+    code = main(
+        ["fuzz", "run", "--max-programs", "4", "--seed", "5", "--json",
+         "--artifact-dir", str(tmp_path / "fa"), "--no-corpus"]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == "repro.fuzz/v1"
+    assert payload["programs"] == 4
+    assert payload["divergences"] == []
+    assert payload["oracle"]["scalar_mode"] == "noIM"
+
+
+def test_fuzz_run_populates_corpus(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    code = main(
+        ["fuzz", "run", "--max-programs", "6", "--seed", "1",
+         "--artifact-dir", str(tmp_path / "fa")]
+    )
+    assert code == 0
+    assert "corpus:" in capsys.readouterr().out
+
+    assert main(["fuzz", "corpus", "--json"]) == 0
+    info = json.loads(capsys.readouterr().out)
+    assert info["schema"] == "repro.fuzz.corpus/v1"
+    assert info["entries"] > 0
+
+    # The cache CLI accounts for the corpus section too.
+    assert main(["cache", "info"]) == 0
+    assert "corpus:" in capsys.readouterr().out
+
+
+def test_fuzz_replay_missing_artifact_is_a_usage_error(capsys, tmp_path):
+    assert main(["fuzz", "replay", str(tmp_path / "nope.repro.json")]) == 2
+
+
+def test_fuzz_replay_roundtrip(capsys, tmp_path):
+    """run (with an injected bug) -> artifact -> replay exits honestly."""
+    import repro.core.engine as engine
+
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(engine, "_DEBUG_SKIP_STORE_RANGE_CHECK", True)
+        code = main(
+            ["fuzz", "run", "--max-programs", "6", "--seed", "7",
+             "--artifact-dir", str(tmp_path), "--no-corpus"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, "a divergence must fail the run (the CI gate)"
+        assert "DIVERGENCE" in out
+        artifact = next(tmp_path.glob("*.repro.json"))
+
+        assert main(["fuzz", "replay", str(artifact)]) == 0
+        assert "bit-for-bit match" in capsys.readouterr().out
+
+    # Bug gone: the replay reports the difference and exits non-zero.
+    assert main(["fuzz", "replay", str(artifact)]) == 1
+    out = capsys.readouterr().out
+    assert "recorded verdict: diverge" in out
+    assert "replayed verdict: agree" in out

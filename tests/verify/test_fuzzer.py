@@ -1,0 +1,93 @@
+"""Generator, mutation, and corpus behaviour of repro.verify.fuzzer."""
+
+import random
+
+import pytest
+
+from repro.functional import run_program
+from repro.verify import (
+    Corpus,
+    Genome,
+    generate_genome,
+    mutate_genome,
+    synthesize,
+)
+from repro.verify.minimize import program_to_dict
+
+
+def test_generation_is_deterministic_for_a_seed():
+    a = generate_genome(random.Random(42))
+    b = generate_genome(random.Random(42))
+    assert a == b
+    assert program_to_dict(synthesize(a)) == program_to_dict(synthesize(b))
+
+
+def test_different_seeds_differ():
+    genomes = {generate_genome(random.Random(seed)) for seed in range(20)}
+    assert len(genomes) > 15
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_synthesized_programs_halt(seed):
+    """Every genome lowers to a valid program that reaches HALT."""
+    program = synthesize(generate_genome(random.Random(seed)))
+    trace = run_program(program, max_instructions=50_000)
+    assert trace.halted
+    assert len(trace.entries) > 0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_mutants_stay_valid(seed):
+    """Mutation (with and without splice partner) preserves validity."""
+    rng = random.Random(seed)
+    genome = generate_genome(rng)
+    partner = generate_genome(rng)
+    for _ in range(10):
+        genome = mutate_genome(rng, genome, partner=partner)
+        assert 1 <= len(genome.loops) <= 5
+        trace = run_program(synthesize(genome), max_instructions=50_000)
+        assert trace.halted
+
+
+def test_genome_roundtrips_through_json_dict():
+    genome = generate_genome(random.Random(3))
+    assert Genome.from_dict(genome.to_dict()) == genome
+
+
+def test_corpus_gates_on_new_coverage(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    corpus = Corpus()
+    genome = generate_genome(random.Random(0))
+    sig_a = frozenset({("tl.promote", 4), ("validate.pass", 16)})
+
+    assert corpus.consider(genome, sig_a)
+    # Same signature again: nothing new, not kept.
+    other = generate_genome(random.Random(1))
+    assert not corpus.consider(other, sig_a)
+    # A single fresh pair earns a slot.
+    sig_b = frozenset({("tl.promote", 4), ("squash.coherence", 1)})
+    assert corpus.consider(other, sig_b)
+    assert len(corpus) == 2
+
+
+def test_corpus_persists_across_instances(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    genome = generate_genome(random.Random(5))
+    first = Corpus()
+    assert first.consider(genome, frozenset({("vrmt.map", 8)}))
+
+    second = Corpus()
+    assert len(second) == 1
+    assert second.sample(random.Random(0)) == genome
+    # The reloaded coverage union still suppresses known behaviour.
+    assert not second.consider(genome, frozenset({("vrmt.map", 8)}))
+
+
+def test_corpus_sample_empty_returns_none():
+    import repro.experiments.diskcache  # noqa: F401 - ensure importable
+
+    corpus = Corpus.__new__(Corpus)
+    corpus.entries, corpus.seen, corpus.added = {}, set(), 0
+    assert corpus.sample(random.Random(0)) is None

@@ -1,0 +1,69 @@
+"""Regression: load values must be the register write-back, not the raw word.
+
+Found by the fuzz sweep (seed 2, program 56, minimized by the delta
+debugger).  A loop FSTs a large float accumulator into memory; a later
+loop re-reads that word with an integer LD and feeds it to a vectorized
+ITOF chain.  Architecturally the LD wraps the float to int64 at register
+write-back, but the vector element fetch used to store the raw memory
+word — so the chained vector ITOF computed on the unwrapped float while
+every scalar consumer saw the wrapped integer, and the element failed
+its value invariant at commit.
+
+The fix applies the write-back conversion in three places that must
+agree: the interpreter's recorded trace value, the interpreter's
+register write (already correct), and the vector element fetch (LD wraps
+to int64, FLD coerces to float).
+"""
+
+from repro.functional import run_program
+from repro.functional.semantics import s64
+from repro.isa import assemble
+from repro.verify import AGREE, run_oracle
+
+# Distilled from the minimized reproducer: loop 1 builds a huge float in
+# f0 (|(-15)^21| ~ 5e24, far beyond int64) and FSTs it to 4360; loop 2
+# strides integer LDs over 4096+24k, crossing 4360 at iteration 11, and
+# converts each loaded value back to float (vectorized ITOF chain).
+REPRODUCER = """
+.data
+seed: .word -15
+.text
+    li   r1, 1
+    itof f0, r1
+    li   r3, 4096
+loop1:
+    ld   r2, 0(r3)
+    itof f1, r2
+    fmul f0, f0, f1
+    fmul f0, f0, f1
+    fmul f0, f0, f1
+    addi r6, r6, 1
+    slti r5, r6, 7
+    bne  r5, r0, loop1
+    fst  f0, 4360(r0)
+    li   r6, 0
+loop2:
+    ld   r2, 0(r3)
+    itof f1, r2
+    addi r3, r3, 24
+    addi r6, r6, 1
+    slti r5, r6, 15
+    bne  r5, r0, loop2
+    halt
+"""
+
+
+def test_trace_records_the_wrapped_load_value():
+    trace = run_program(assemble(REPRODUCER), max_instructions=50_000)
+    assert trace.halted
+    loads = [e for e in trace.entries if e.op.name == "LD" and e.addr == 4360]
+    assert loads, "loop 2 must re-read the FST'd word"
+    stored = trace.final_memory.load(4360)
+    assert isinstance(stored, float) and abs(stored) > 2**63
+    for e in loads:
+        assert e.value == s64(int(stored))
+
+
+def test_int_load_of_fst_float_agrees_through_the_vector_datapath():
+    report = run_oracle(assemble(REPRODUCER))
+    assert report.verdict == AGREE, report.to_dict()

@@ -1,0 +1,111 @@
+"""Delta-debugging and .repro.json artifact round-trips."""
+
+import random
+
+import pytest
+
+from repro.isa.opcodes import Opcode
+from repro.verify import (
+    OracleConfig,
+    instruction_count,
+    minimize_program,
+    replay_artifact,
+    run_oracle,
+    save_artifact,
+    synthesize,
+)
+from repro.verify.fuzzer import generate_genome
+from repro.verify.minimize import load_artifact, program_from_dict, program_to_dict
+
+
+def _fuzz_program(seed, min_instructions=40):
+    rng = random.Random(seed)
+    while True:
+        program = synthesize(generate_genome(rng))
+        if instruction_count(program) >= min_instructions:
+            return program
+
+
+def test_synthetic_oracle_minimizes_to_tiny_reproducer():
+    """A known-divergent predicate ("has both a store and a multiply")
+    shrinks a real fuzz program to a <=5-instruction reproducer."""
+
+    def diverges(candidate):
+        ops = [ins.op for ins in candidate.instructions if ins.op is not Opcode.NOP]
+        return Opcode.ST in ops and Opcode.MUL in ops
+
+    rng = random.Random(9)
+    program = synthesize(generate_genome(rng))
+    while not (diverges(program) and instruction_count(program) >= 40):
+        program = synthesize(generate_genome(rng))
+    minimized, tests = minimize_program(program, diverges)
+    assert diverges(minimized)
+    assert instruction_count(minimized) <= 5
+    assert 0 < tests <= 600
+
+
+def test_minimizer_rejects_non_diverging_input():
+    program = _fuzz_program(1)
+    with pytest.raises(ValueError):
+        minimize_program(program, lambda candidate: False)
+
+
+def test_minimizer_respects_its_test_budget():
+    program = _fuzz_program(2)
+    calls = []
+
+    def diverges(candidate):
+        calls.append(1)
+        return True
+
+    minimize_program(program, diverges, max_tests=25)
+    assert len(calls) <= 25
+
+
+def test_predicate_exceptions_count_as_non_diverging():
+    program = _fuzz_program(3)
+    size = instruction_count(program)
+
+    def diverges(candidate):
+        if instruction_count(candidate) < size:
+            raise RuntimeError("boom")
+        return True
+
+    minimized, _ = minimize_program(program, diverges, max_tests=60)
+    assert instruction_count(minimized) == size
+
+
+def test_program_serialization_roundtrips():
+    program = _fuzz_program(4)
+    payload = program_to_dict(program)
+    rebuilt = program_from_dict(payload)
+    assert program_to_dict(rebuilt) == payload
+    # Round-tripped programs execute identically through the oracle.
+    assert run_oracle(rebuilt).to_dict() == run_oracle(program).to_dict()
+
+
+def test_artifact_replays_bit_for_bit(tmp_path):
+    """A saved .repro.json replays to the exact recorded oracle report."""
+    program = synthesize(generate_genome(random.Random(6)))
+    config = OracleConfig()
+    report = run_oracle(program, config)
+    path = save_artifact(
+        tmp_path / "case.repro.json", program, config, report,
+        provenance={"campaign_seed": 6},
+    )
+
+    payload = load_artifact(path)
+    assert payload["schema"] == "repro.fuzz.repro/v1"
+    assert payload["provenance"]["campaign_seed"] == 6
+
+    result = replay_artifact(path)
+    assert result["schema"] == "repro.fuzz.replay/v1"
+    assert result["matches"] is True
+    assert result["replayed"] == result["recorded"]
+
+
+def test_load_artifact_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "bogus.repro.json"
+    path.write_text('{"schema": "something/v9"}')
+    with pytest.raises(ValueError, match="repro.fuzz.repro/v1"):
+        load_artifact(path)

@@ -1,0 +1,73 @@
+"""End-to-end audit: an injected coherence bug must be caught and minimized.
+
+The §3.6 store range check is what keeps speculatively vectorized loads
+coherent with later stores.  ``_DEBUG_SKIP_STORE_RANGE_CHECK`` disables
+it (a deliberate fault-injection hook in :mod:`repro.core.engine`); with
+the hook armed, the fuzz campaign must (a) find a diverging program,
+(b) classify the divergence as an invariant violation, and (c) shrink
+it to a reproducer of at most 10 instructions that replays bit-for-bit
+from its ``.repro.json`` artifact.
+"""
+
+import json
+
+import pytest
+
+import repro.core.engine as engine
+from repro.verify import replay_artifact, run_campaign
+
+pytestmark = pytest.mark.fuzz
+
+
+@pytest.fixture
+def broken_engine(monkeypatch):
+    monkeypatch.setattr(engine, "_DEBUG_SKIP_STORE_RANGE_CHECK", True)
+
+
+def test_injected_coherence_bug_is_caught_and_minimized(broken_engine, tmp_path):
+    report = run_campaign(
+        seed=7,
+        max_programs=6,
+        use_corpus=False,
+        artifact_dir=str(tmp_path),
+    )
+    assert not report.ok, "the broken store range check must be detected"
+    record = report.divergences[0]
+    assert "invariant" in record.kinds
+    assert record.minimized_instructions <= 10
+    assert record.minimized_instructions < record.original_instructions
+
+    # The artifact is self-contained and replays bit-for-bit while the
+    # bug is still present.
+    payload = json.loads(open(record.artifact).read())
+    assert payload["schema"] == "repro.fuzz.repro/v1"
+    assert payload["provenance"]["campaign_seed"] == 7
+    replay = replay_artifact(record.artifact)
+    assert replay["matches"] is True
+    assert replay["replayed"]["verdict"] == "diverge"
+
+
+def test_reproducer_goes_quiet_once_the_bug_is_fixed(tmp_path):
+    # Produce the artifact with the bug armed...
+    with pytest.MonkeyPatch.context() as mp:
+        mp.setattr(engine, "_DEBUG_SKIP_STORE_RANGE_CHECK", True)
+        report = run_campaign(
+            seed=7, max_programs=6, use_corpus=False, artifact_dir=str(tmp_path)
+        )
+        assert not report.ok
+        artifact = report.divergences[0].artifact
+    # ...then replay on the sound simulator: the recorded divergence is
+    # gone, which is exactly how a triager confirms a fix.
+    replay = replay_artifact(artifact)
+    assert replay["matches"] is False
+    assert replay["recorded"]["verdict"] == "diverge"
+    assert replay["replayed"]["verdict"] == "agree"
+
+
+def test_sound_simulator_survives_the_same_campaign(tmp_path):
+    """Control: with the check in place the identical campaign is clean."""
+    report = run_campaign(
+        seed=7, max_programs=6, use_corpus=False, artifact_dir=str(tmp_path)
+    )
+    assert report.ok
+    assert report.programs == 6

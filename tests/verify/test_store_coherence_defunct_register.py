@@ -1,0 +1,78 @@
+"""Regression: a committing store must conflict with in-flight validations
+on an already-defunct vector register.
+
+Found by ``python -m repro fuzz run --max-programs 200 --seed 7`` (program
+101, minimized by the delta debugger to the 18 instructions below).  The
+failure sequence:
+
+1. a strided load promotes and its wide fetch reads elements from commit
+   memory *before* an older store to one of those addresses commits, so
+   one element holds a stale value;
+2. the element's validation executes successfully (the predicted address
+   matches) and waits for in-order commit;
+3. a *later* element's validation fails (the stride breaks), defuncting
+   the register and squashing only from that younger instruction;
+4. the older store finally commits — and the §3.6 range check used to
+   skip defunct registers entirely, so nothing flushed the stale
+   in-flight validation, which then committed the wrong value.
+
+The fix keeps the store conflict for defunct registers whenever an
+unvalidated element with an in-flight validation (U flag set) matches the
+store address.
+"""
+
+from repro.functional import run_program
+from repro.isa import assemble
+from repro.verify import AGREE, run_oracle
+
+# The minimized fuzz reproducer, as assembly.  Loop 1 stores 0 over
+# initialized words at 4160+24k (reaching 4256); loop 2 strides loads at
+# 4160+32k with a data-dependent extra advance (the wobble) that breaks
+# the stride right after the element whose address the store rewrote.
+REPRODUCER = """
+.text
+    ld   r2, 0(r3)
+    li   r3, 4160
+loop1:
+    rem  r1, r1, r2
+    st   r1, 0(r3)
+    addi r3, r3, 24
+    addi r5, r5, 1
+    slti r6, r5, 5
+    bne  r6, r0, loop1
+    li   r3, 4160
+loop2:
+    ld   r2, 0(r3)
+    andi r7, r2, 1
+    beq  r7, r0, even
+    addi r3, r3, 8
+even:
+    addi r3, r3, 32
+    addi r6, r6, 1
+    slti r5, r6, 14
+    bne  r5, r0, loop2
+    halt
+"""
+
+
+def _program():
+    program = assemble(REPRODUCER)
+    # The original reproducer's initial memory: the word the store
+    # rewrites (4256) and the odd word that triggers the stride break one
+    # element later (4288).
+    program.data[4256] = -6
+    program.data[4288] = -45
+    return program
+
+
+def test_reproducer_matches_recorded_shape():
+    trace = run_program(_program(), max_instructions=50_000)
+    assert trace.halted
+    assert len(trace.entries) == 133  # the recorded dynamic length
+    stored = [e for e in trace.entries if e.op.name == "ST" and e.addr == 4256]
+    assert stored and stored[0].value == 0  # the store rewrites -6 -> 0
+
+
+def test_store_conflicts_reach_defunct_registers():
+    report = run_oracle(_program())
+    assert report.verdict == AGREE, report.to_dict()

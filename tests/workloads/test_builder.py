@@ -156,3 +156,36 @@ def test_fresh_label_place():
     b.place(name)
     b.halt()
     assert b.build().labels[name] == 1
+
+
+def test_store_into_stack_guard_band_rejected():
+    """Constant store targets inside [STACK_GUARD_BASE, DATA_BASE) are a
+    generator bug (aliasing outside the data segment) and must fail loudly."""
+    from repro.isa.assembler import DATA_BASE
+    from repro.workloads.builder import STACK_GUARD_BASE
+
+    b = ProgramBuilder()
+    r = b.ireg()
+    for addr in (STACK_GUARD_BASE, STACK_GUARD_BASE + WORD_SIZE, DATA_BASE - WORD_SIZE):
+        with pytest.raises(BuilderError, match="stack guard region"):
+            b.st(r, addr, 0)
+        with pytest.raises(BuilderError, match="stack guard region"):
+            b.fst(r, addr, 0)
+    # Either side of the band is fine.
+    b.st(r, STACK_GUARD_BASE - WORD_SIZE, 0)
+    b.st(r, DATA_BASE, 0)
+    assert b.check_store_target(0) == 0
+
+
+def test_guard_check_ignores_register_relative_stores():
+    """Only statically-known (r0-relative) targets are checkable at build
+    time; register-relative stores go through unvalidated."""
+    from repro.workloads.builder import STACK_GUARD_BASE
+
+    b = ProgramBuilder()
+    r = b.ireg()
+    base = b.ireg()
+    b.li(base, STACK_GUARD_BASE)
+    b.st(r, 0, base)  # must not raise
+    b.halt()
+    b.build()
