@@ -72,6 +72,7 @@ from . import (
     workloads,
 )
 from .api import (
+    GridFailureError,
     GridPoint,
     GridReport,
     RunResult,
@@ -97,6 +98,7 @@ __all__ = [
     "pipeline",
     "verify",
     "workloads",
+    "GridFailureError",
     "GridPoint",
     "GridReport",
     "RunResult",

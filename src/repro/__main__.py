@@ -3,11 +3,15 @@
 A thin shell over the stable :mod:`repro.api` facade.  Commands:
 
 * ``figures [--scale N] [--sampled] [--only figNN ...] [--jobs J]
-  [--json]`` — regenerate the paper's figures; the grid points behind
-  the selected figures are collected up front and fanned out over a
-  process pool (see :mod:`repro.experiments.parallel`);
-* ``headline [--scale N] [--sampled] [--jobs J] [--json]`` — measure the
-  paper's headline claims, same batched execution;
+  [--task-timeout S] [--max-retries N] [--json]`` — regenerate the
+  paper's figures; the grid points behind the selected figures are
+  collected up front and fanned out over a fault-tolerant process pool
+  (see :mod:`repro.experiments.parallel` and the *Failure semantics*
+  section of ``docs/PERFORMANCE.md``) — the command exits 1 when any
+  grid point remains failed after retries;
+* ``headline [--scale N] [--sampled] [--jobs J] [--task-timeout S]
+  [--max-retries N] [--json]`` — measure the paper's headline claims,
+  same batched execution and failure semantics;
 * ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]
   [--sampled] [--json]`` — simulate one benchmark on one configuration;
 * ``trace <benchmark> [--events SPEC] [--limit N] [--output FILE]``
@@ -81,7 +85,7 @@ def _print_rows(title: str, rows) -> None:
 
 
 def _positive_int(text: str) -> int:
-    """argparse type for flags where zero is meaningless (window/interval)."""
+    """argparse type for flags where zero is meaningless (window/interval/jobs)."""
     try:
         value = int(text)
     except ValueError:
@@ -89,6 +93,35 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
     return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type for retry budgets (zero = no retries is meaningful)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for timeouts (must be a positive number of seconds)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _print_grid_failures(accounting) -> None:
+    """One stderr line per quarantined grid point (docs/PERFORMANCE.md §5)."""
+    for failure in accounting.failed:
+        print(f"grid point FAILED: {failure.describe()}", file=sys.stderr)
+    print(accounting.summary(), file=sys.stderr)
 
 
 def _sampling_from_args(args: argparse.Namespace) -> api.SamplingConfig | None:
@@ -117,7 +150,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
     points = []
     for name in names:
         points.extend(api.get_figure(name).points(args.scale, sampling))
-    batch = api.grid(points, jobs=args.jobs, sampling=sampling)
+    batch = api.grid(
+        points,
+        jobs=args.jobs,
+        sampling=sampling,
+        task_timeout=args.task_timeout,
+        max_retries=args.max_retries,
+    )
+    if not batch.ok:
+        # Quarantined points leave holes the figure tables cannot paper
+        # over; report the failures and exit nonzero instead of raising
+        # a KeyError from deep inside a rows() function.
+        _print_grid_failures(batch.accounting)
+        return 1
     results = [
         api.figure(name, scale=args.scale, sampling=sampling, prebatched=True)
         for name in names
@@ -138,7 +183,17 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_headline(args: argparse.Namespace) -> int:
     sampling = _sampling_from_args(args)
-    claims = api.headline(scale=args.scale, sampling=sampling, jobs=args.jobs)
+    try:
+        claims = api.headline(
+            scale=args.scale,
+            sampling=sampling,
+            jobs=args.jobs,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+        )
+    except api.GridFailureError as exc:
+        _print_grid_failures(exc.accounting)
+        return 1
     if args.json:
         payload = {
             "schema": "repro.headline/v1",
@@ -330,10 +385,33 @@ def _add_sampling_arguments(parser: argparse.ArgumentParser) -> None:
 def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="J",
         help="worker processes (default: $REPRO_JOBS or the CPU count)",
+    )
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--task-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-task stall timeout: fail a grid point when no task "
+            "completes for this long (default: $REPRO_TASK_TIMEOUT or off)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "retry a failing grid point up to N times before quarantining "
+            "it (default: $REPRO_MAX_RETRIES or 2)"
+        ),
     )
 
 
@@ -365,6 +443,7 @@ def main(argv=None) -> int:
     p.add_argument("--only", nargs="*", metavar="FIG", help="subset, e.g. fig14")
     _add_sampling_arguments(p)
     _add_jobs_argument(p)
+    _add_fault_arguments(p)
     _add_json_argument(p)
     p.set_defaults(fn=cmd_figures)
 
@@ -372,6 +451,7 @@ def main(argv=None) -> int:
     p.add_argument("--scale", type=int, default=api.EXPERIMENT_SCALE)
     _add_sampling_arguments(p)
     _add_jobs_argument(p)
+    _add_fault_arguments(p)
     _add_json_argument(p)
     p.set_defaults(fn=cmd_headline)
 

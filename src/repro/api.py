@@ -77,6 +77,25 @@ def _check_benchmark(name: str) -> None:
         )
 
 
+class GridFailureError(RuntimeError):
+    """A figure/headline grid left failed points after all retries.
+
+    Figures and headline claims need *every* point of their grid; when
+    the fault-tolerant runner quarantines points the derived rows would
+    be fiction, so the failure list is raised instead.  The parallel
+    accounting report (with ``failed`` populated) rides on
+    ``.accounting``.
+    """
+
+    def __init__(self, accounting: _parallel.GridReport) -> None:
+        self.accounting = accounting
+        lines = [failure.describe() for failure in accounting.failed]
+        super().__init__(
+            f"{len(accounting.failed)} grid point(s) failed after retries: "
+            + "; ".join(lines)
+        )
+
+
 # ---------------------------------------------------------------------------
 # simulate
 # ---------------------------------------------------------------------------
@@ -202,6 +221,16 @@ class GridReport:
     def __len__(self) -> int:
         return len(self.runs)
 
+    @property
+    def ok(self) -> bool:
+        """True when every requested point produced a result."""
+        return self.accounting.ok
+
+    @property
+    def failures(self) -> List[_parallel.TaskFailure]:
+        """Points quarantined after exhausting their retry budget."""
+        return self.accounting.failed
+
     def stats(self) -> Dict[GridPoint, SimStats]:
         return {run.point(): run.stats for run in self.runs}
 
@@ -218,7 +247,11 @@ class GridReport:
                 "disk_hits": self.accounting.disk_hits,
                 "simulated": self.accounting.simulated,
                 "jobs": self.accounting.jobs,
+                "retries": self.accounting.retries,
+                "pool_restarts": self.accounting.pool_restarts,
+                "degraded_serial": self.accounting.degraded_serial,
             },
+            "failures": [failure.to_dict() for failure in self.accounting.failed],
             "runs": [run.to_dict() for run in self.runs],
             "metrics": self.metrics.to_dict() if self.metrics else None,
         }
@@ -230,6 +263,8 @@ def grid(
     jobs: Optional[int] = None,
     sampling: SamplingLike = None,
     metrics: bool = False,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> GridReport:
     """Compute a batch of grid points, fanning misses over a process pool.
 
@@ -239,6 +274,12 @@ def grid(
     ``metrics=True`` aggregates every point's metrics — whether it came
     from a worker, the disk cache, or the memo — into one registry on the
     returned report.
+
+    Failures are contained per point: a task that keeps failing (or, with
+    ``task_timeout``, hanging) is retried ``max_retries`` times with
+    backoff and then quarantined into ``report.failures`` while the rest
+    of the batch completes — check ``report.ok`` before trusting a full
+    grid.  See :class:`repro.experiments.parallel.FaultPolicy`.
     """
     sampling = _coerce_sampling(sampling)
     normalized: List[GridPoint] = []
@@ -250,7 +291,12 @@ def grid(
     registry = MetricsRegistry() if metrics else None
     accounting = _parallel.GridReport()
     results = _parallel.run_grid(
-        normalized, jobs=jobs, report=accounting, metrics=registry
+        normalized,
+        jobs=jobs,
+        report=accounting,
+        metrics=registry,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
     )
     runs = [
         RunResult(
@@ -416,12 +462,16 @@ def figure(
     sampling: SamplingLike = None,
     jobs: Optional[int] = None,
     prebatched: bool = False,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate one figure of the paper (see :data:`FIGURES` for names).
 
     The figure's simulation points are batched through :func:`grid` first
     (skipped with ``prebatched=True`` when a driver already warmed the
-    batch), then the rows are computed from the in-process memo.
+    batch), then the rows are computed from the in-process memo.  Raises
+    :class:`GridFailureError` if any batched point failed after retries —
+    partial figures are worse than no figures.
     """
     spec = get_figure(name)
     sampling = _coerce_sampling(sampling)
@@ -429,7 +479,12 @@ def figure(
     if not prebatched:
         points = spec.points(scale, sampling)
         if points:
-            report = grid(points, jobs=jobs)
+            report = grid(
+                points, jobs=jobs,
+                task_timeout=task_timeout, max_retries=max_retries,
+            )
+            if not report.ok:
+                raise GridFailureError(report.accounting)
     return FigureResult(spec=spec, rows=spec.rows(scale, sampling), grid=report)
 
 
@@ -438,10 +493,21 @@ def headline(
     scale: int = EXPERIMENT_SCALE,
     sampling: SamplingLike = None,
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> Dict[str, float]:
-    """Measure the paper's headline claims (§1/§4/§6) on this machine."""
+    """Measure the paper's headline claims (§1/§4/§6) on this machine.
+
+    Raises :class:`GridFailureError` when any underlying grid point
+    failed after retries (the claims need the complete grid).
+    """
     sampling = _coerce_sampling(sampling)
-    grid(_figures.headline_points(scale, sampling), jobs=jobs)
+    report = grid(
+        _figures.headline_points(scale, sampling), jobs=jobs,
+        task_timeout=task_timeout, max_retries=max_retries,
+    )
+    if not report.ok:
+        raise GridFailureError(report.accounting)
     return _figures.headline_claims(scale, sampling)
 
 
@@ -508,6 +574,7 @@ __all__ = [
     "FIGURES",
     "FigureResult",
     "FigureSpec",
+    "GridFailureError",
     "GridPoint",
     "GridReport",
     "OracleConfig",

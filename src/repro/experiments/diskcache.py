@@ -54,6 +54,7 @@ import hashlib
 import json
 import os
 import pathlib
+import sys
 import tempfile
 from typing import Dict, Optional, Tuple
 
@@ -269,6 +270,23 @@ def stats_from_dict(payload: Dict) -> SimStats:
     return SimStats(**payload)
 
 
+def _corrupt_fault(section: str, path: pathlib.Path) -> None:
+    """Fault-injection hook: corrupt the entry just written to ``path``.
+
+    Lets the test suites prove the self-healing contract (corrupt entry
+    == miss, dropped, rewritten) for every cache section without hand
+    carving files.  Lazy import for the same cycle reason as
+    :func:`repro.experiments.runner._fire_fault`; free when nothing is
+    armed.
+    """
+    module = sys.modules.get("repro.verify.faults")
+    if module is None:
+        if not os.environ.get("REPRO_FAULTS"):
+            return
+        from ..verify import faults as module
+    module.corrupt_file("cache.store", path, section=section)
+
+
 def _atomic_write(path: pathlib.Path, text: str) -> None:
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
@@ -350,8 +368,10 @@ def store_stats(
         payload["point"] = describe
     if metrics:
         payload["metrics"] = metrics
-    _atomic_write(_stats_dir() / f"{key}.json", json.dumps(payload))
+    path = _stats_dir() / f"{key}.json"
+    _atomic_write(path, json.dumps(payload))
     COUNTERS.stats_stores += 1
+    _corrupt_fault("stats", path)
 
 
 # ---------------------------------------------------------------------------
@@ -385,7 +405,9 @@ def store_trace(key: str, trace: Trace) -> None:
     """Persist a functional trace (atomic; no-op when disabled)."""
     if not cache_enabled():
         return
-    _atomic_write(_traces_dir() / f"{key}.jsonl", traceio.dumps_trace(trace))
+    path = _traces_dir() / f"{key}.jsonl"
+    _atomic_write(path, traceio.dumps_trace(trace))
+    _corrupt_fault("trace", path)
 
 
 # ---------------------------------------------------------------------------
@@ -455,8 +477,10 @@ def store_checkpoint(key: str, payload: Dict) -> None:
     if not cache_enabled():
         return
     text = json.dumps({"format": CACHE_FORMAT}) + "\n" + traceio.pack_json(payload) + "\n"
-    _atomic_write(_checkpoints_dir() / f"{key}.ckpt", text)
+    path = _checkpoints_dir() / f"{key}.ckpt"
+    _atomic_write(path, text)
     COUNTERS.checkpoint_stores += 1
+    _corrupt_fault("checkpoint", path)
 
 
 # ---------------------------------------------------------------------------
@@ -479,7 +503,9 @@ def store_corpus_entry(key: str, payload: Dict) -> bool:
     """Persist one corpus entry (atomic); False when persistence is off."""
     if not cache_enabled():
         return False
-    _atomic_write(_corpus_dir() / f"{key}.json", json.dumps(payload, sort_keys=True))
+    path = _corpus_dir() / f"{key}.json"
+    _atomic_write(path, json.dumps(payload, sort_keys=True))
+    _corrupt_fault("corpus", path)
     return True
 
 

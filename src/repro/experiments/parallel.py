@@ -1,4 +1,4 @@
-"""Process-pool fan-out for the experiment grid.
+"""Fault-tolerant process-pool fan-out for the experiment grid.
 
 The figure grid is embarrassingly parallel: every (benchmark, width,
 ports, mode) point is one independent simulation of its own
@@ -23,22 +23,65 @@ cache-hit paths produce identical :class:`~repro.pipeline.stats.SimStats`
 — the equivalence tests in ``tests/experiments/test_parallel.py`` pin
 this.
 
+Fault tolerance is the other contract: one bad point must never cost the
+rest of the grid.  Every point is submitted as its own future and driven
+under a :class:`FaultPolicy`:
+
+* a worker **exception** charges the point one attempt and retries it
+  with capped exponential backoff, up to ``max_retries``; a point that
+  keeps failing is **quarantined** into ``GridReport.failed`` while the
+  rest of the grid completes;
+* a **hung** task is detected when no future completes within
+  ``task_timeout`` seconds: queued futures are requeued uncharged, the
+  stuck ones are charged a ``timeout`` attempt, and the pool (whose
+  workers may be wedged) is killed and respawned;
+* a **broken pool** (a worker died — ``BrokenProcessPool``) salvages
+  every already-completed result and respawns the pool for the remainder;
+  after two consecutive breaks the fabric switches to *isolation mode* —
+  one point per single-worker pool — so the crashing point indicts only
+  itself, is retried/quarantined like any other failure, and pooled mode
+  resumes once it is identified;
+* if pools are **unavailable** entirely (no ``sem_open``/fork), execution
+  degrades to in-process serial with the same retry/quarantine handling
+  (``GridReport.degraded_serial``).
+
+Failures are reported per point (:class:`TaskFailure`: kind, error,
+attempt count) through :class:`GridReport`, surfaced as
+``grid.task_retries`` / ``grid.tasks_failed`` / ``grid.pool_restarts``
+metrics when a registry is attached, and propagated by the CLI as a
+nonzero exit.  The deterministic fault injector
+(:mod:`repro.verify.faults`) drives every one of these paths in
+``tests/experiments/test_fault_tolerance.py``.
+
 Worker count: the ``jobs`` argument, else ``$REPRO_JOBS``, else
 ``os.cpu_count()``.  ``jobs=1`` runs serially in-process (no pool, same
-results).
+results).  Zero or negative worker counts are rejected, not clamped.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from ..observe import MetricsRegistry, Observer, record_sim_stats
 from ..pipeline.stats import SimStats
 from . import diskcache, runner
+
+#: default attempt budget beyond the first try (see FaultPolicy).
+DEFAULT_MAX_RETRIES = 2
+
+#: consecutive pool breaks before switching to isolation mode.
+_ISOLATE_AFTER_BREAKS = 2
 
 
 class GridPoint(NamedTuple):
@@ -58,9 +101,97 @@ class GridPoint(NamedTuple):
     sampling: Optional[Tuple[int, int]] = None
 
 
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the grid treats a task that fails, hangs or kills its worker.
+
+    ``task_timeout`` is a *stall* timeout: it fires when no task in the
+    batch completes for that many seconds, which bounds a hung simulation
+    without per-task clocks (a busy healthy grid keeps resetting it).
+    ``max_retries`` is the attempt budget *beyond* the first try; retries
+    back off exponentially from ``backoff_base`` capped at
+    ``backoff_cap`` seconds.
+    """
+
+    task_timeout: Optional[float] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** max(0, attempt - 1)))
+
+    @classmethod
+    def resolve(
+        cls,
+        task_timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> "FaultPolicy":
+        """Policy from arguments, ``$REPRO_TASK_TIMEOUT`` / ``$REPRO_MAX_RETRIES``,
+        or the defaults; rejects nonsensical values loudly."""
+        if task_timeout is None:
+            env = os.environ.get("REPRO_TASK_TIMEOUT")
+            if env:
+                try:
+                    task_timeout = float(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_TASK_TIMEOUT must be a number, got {env!r}"
+                    ) from None
+        if max_retries is None:
+            env = os.environ.get("REPRO_MAX_RETRIES")
+            if env:
+                try:
+                    max_retries = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_MAX_RETRIES must be an integer, got {env!r}"
+                    ) from None
+        if max_retries is None:
+            max_retries = DEFAULT_MAX_RETRIES
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task timeout must be positive, got {task_timeout}")
+        if max_retries < 0:
+            raise ValueError(f"max retries must be >= 0, got {max_retries}")
+        return cls(task_timeout=task_timeout, max_retries=max_retries)
+
+
+@dataclass
+class TaskFailure:
+    """One grid point that could not be computed within its retry budget."""
+
+    point: GridPoint
+    kind: str       #: "error" | "timeout" | "crash"
+    error: str      #: last failure's description
+    attempts: int   #: attempts charged before quarantine
+
+    def describe(self) -> str:
+        p = self.point
+        coord = f"{p.name} {p.width}w {p.ports}p {p.mode}"
+        return f"{coord}: {self.kind} after {self.attempts} attempt(s) — {self.error}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "point": {
+                "benchmark": self.point.name,
+                "width": self.point.width,
+                "ports": self.point.ports,
+                "mode": self.point.mode,
+                "scale": self.point.scale,
+                "block_on_scalar_operand": self.point.block_on_scalar_operand,
+                "sampling": list(self.point.sampling) if self.point.sampling else None,
+            },
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
 @dataclass
 class GridReport:
-    """Where each point of one :func:`run_grid` batch came from."""
+    """Where each point of one :func:`run_grid` batch came from — and
+    which points failed, were retried, or broke the pool."""
 
     requested: int = 0
     unique: int = 0
@@ -68,17 +199,39 @@ class GridReport:
     disk_hits: int = 0
     simulated: int = 0
     jobs: int = 1
+    retries: int = 0
+    pool_restarts: int = 0
+    degraded_serial: bool = False
+    failed: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested point produced a result."""
+        return not self.failed
 
     def summary(self) -> str:
-        return (
+        text = (
             f"grid: {self.requested} points ({self.unique} unique) — "
             f"{self.simulated} simulated, {self.disk_hits} disk-cache hits, "
             f"{self.memo_hits} memo hits [jobs={self.jobs}]"
         )
+        if self.retries:
+            text += f", {self.retries} retries"
+        if self.pool_restarts:
+            text += f", {self.pool_restarts} pool restarts"
+        if self.degraded_serial:
+            text += ", degraded to serial"
+        if self.failed:
+            text += f" — {len(self.failed)} FAILED"
+        return text
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count from the argument, ``$REPRO_JOBS``, or the CPU count."""
+    """Worker count from the argument, ``$REPRO_JOBS``, or the CPU count.
+
+    A zero or negative count — argument or environment — is a usage
+    error and raises ``ValueError`` instead of being silently clamped.
+    """
     if jobs is None:
         env = os.environ.get("REPRO_JOBS")
         if env:
@@ -86,9 +239,11 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
                 jobs = int(env)
             except ValueError:
                 raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs}")
     if jobs is None:
         jobs = os.cpu_count() or 1
-    return max(1, jobs)
+    return jobs
 
 
 def _worker_run_point(key: GridPoint, want_metrics: bool = False):
@@ -113,6 +268,8 @@ def run_grid(
     jobs: Optional[int] = None,
     report: Optional[GridReport] = None,
     metrics: Optional[MetricsRegistry] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> Dict[GridPoint, SimStats]:
     """Compute every grid point, fanning misses out over a process pool.
 
@@ -127,6 +284,15 @@ def run_grid(
     and memo hits synthesize ``sim.*`` from the cached stats — so the
     counters sum over the whole grid regardless of where each point came
     from.
+
+    Failures do not propagate: a point that keeps failing (or hanging,
+    under ``task_timeout``) is quarantined into ``report.failed`` after
+    ``max_retries`` retries and simply absent from the returned dict —
+    every other point completes and is salvaged even when a worker
+    crash breaks the pool mid-batch.  See :class:`FaultPolicy` for the
+    knob semantics (also reachable as ``$REPRO_TASK_TIMEOUT`` /
+    ``$REPRO_MAX_RETRIES`` and the CLI's ``--task-timeout`` /
+    ``--max-retries``).
     """
     points = list(points)
     if report is None:
@@ -134,6 +300,7 @@ def run_grid(
     report.requested = len(points)
     jobs = resolve_jobs(jobs)
     report.jobs = jobs
+    policy = FaultPolicy.resolve(task_timeout, max_retries)
 
     ordered: List[GridPoint] = []
     seen = set()
@@ -186,10 +353,7 @@ def run_grid(
             still_cold.append(point)
 
     if still_cold:
-        if jobs > 1 and len(still_cold) > 1:
-            computed = _pool_map(still_cold, jobs, want_metrics)
-        else:
-            computed = [_worker_run_point(point, want_metrics) for point in still_cold]
+        computed = _execute(still_cold, jobs, want_metrics, policy, report)
         for point, payload, simulated, point_metrics in computed:
             stats = diskcache.stats_from_dict(payload)
             runner.prime_memo(tuple(point), stats)
@@ -202,15 +366,227 @@ def run_grid(
                 # The worker-side registry already includes the sim.* shim.
                 metrics.merge(point_metrics)
 
+    if want_metrics:
+        # Fabric-health counters: only materialized when nonzero, so a
+        # clean run's registry stays bit-identical to the pre-fault era.
+        if report.retries:
+            metrics.counter("grid.task_retries").inc(report.retries)
+        if report.failed:
+            metrics.counter("grid.tasks_failed").inc(len(report.failed))
+        if report.pool_restarts:
+            metrics.counter("grid.pool_restarts").inc(report.pool_restarts)
+
     return results
 
 
-def _pool_map(points: List[GridPoint], jobs: int, want_metrics: bool = False):
-    """Fan ``points`` out over a process pool (serial fallback on failure)."""
+# ---------------------------------------------------------------------------
+# The fault-isolating execution engine
+# ---------------------------------------------------------------------------
+
+
+class _PoolUnavailable(Exception):
+    """Process pools cannot be created in this environment at all."""
+
+
+def _execute(
+    points: List[GridPoint],
+    jobs: int,
+    want_metrics: bool,
+    policy: FaultPolicy,
+    report: GridReport,
+) -> List[tuple]:
+    """Compute ``points`` with per-task isolation; failures land in
+    ``report.failed``, successes are returned as worker-outcome tuples."""
+    outcomes: List[tuple] = []
+    attempts: Dict[GridPoint, int] = {point: 0 for point in points}
     work = partial(_worker_run_point, want_metrics=want_metrics)
+    remaining = list(points)
+    if jobs > 1 and len(points) > 1:
+        try:
+            _execute_pool(remaining, jobs, work, policy, attempts, outcomes, report)
+            return outcomes
+        except _PoolUnavailable:
+            # Restricted environments (no sem_open / fork): degrade to
+            # serial for whatever the pool did not finish.
+            report.degraded_serial = True
+            finished = {outcome[0] for outcome in outcomes}
+            quarantined = {failure.point for failure in report.failed}
+            remaining = [
+                point for point in points
+                if point not in finished and point not in quarantined
+            ]
+    _execute_serial(remaining, work, policy, attempts, outcomes, report)
+    return outcomes
+
+
+def _execute_serial(points, work, policy, attempts, outcomes, report) -> None:
+    """In-process execution with the same retry/quarantine semantics.
+
+    No hang containment here — there is no process boundary to kill —
+    so ``task_timeout`` only applies on the pool path.
+    """
+    for point in points:
+        while True:
+            try:
+                outcomes.append(work(point))
+                break
+            except Exception as exc:
+                attempts[point] += 1
+                if attempts[point] > policy.max_retries:
+                    report.failed.append(
+                        TaskFailure(
+                            point, "error",
+                            f"{type(exc).__name__}: {exc}", attempts[point],
+                        )
+                    )
+                    break
+                report.retries += 1
+                time.sleep(policy.backoff(attempts[point]))
+
+
+def _execute_pool(pending, jobs, work, policy, attempts, outcomes, report) -> None:
+    """Pooled execution: per-task futures, broken-pool salvage, isolation.
+
+    ``pending`` is consumed; completed outcomes append to ``outcomes``
+    and quarantined points to ``report.failed``.
+    """
+    breaks = 0
+    while pending:
+        isolate = breaks >= _ISOLATE_AFTER_BREAKS
+        batch = pending[:1] if isolate else list(pending)
+        rest = pending[1:] if isolate else []
+        workers = 1 if isolate else min(jobs, len(batch))
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ImportError, NotImplementedError) as exc:
+            raise _PoolUnavailable(str(exc)) from exc
+        try:
+            requeue, broke, quarantined_crash = _drive_pool(
+                pool, batch, work, policy, attempts, outcomes, report,
+                charge_broken=isolate,
+            )
+        except (OSError, ImportError) as exc:
+            # The pool machinery itself is unusable (semaphores, pipes).
+            _abort_pool(pool)
+            raise _PoolUnavailable(str(exc)) from exc
+        if broke:
+            _abort_pool(pool)
+            breaks += 1
+            if requeue or rest:
+                report.pool_restarts += 1
+        else:
+            pool.shutdown(wait=True)
+        if quarantined_crash:
+            # The crasher is identified and quarantined; give pooled mode
+            # another chance for the survivors.
+            breaks = 0
+        pending = requeue + rest
+
+
+def _drive_pool(
+    pool, batch, work, policy, attempts, outcomes, report, charge_broken=False
+):
+    """Drive one pool over ``batch``; returns ``(requeue, broke, quarantined_crash)``.
+
+    Transient worker exceptions are retried in-pool with backoff; a
+    stall past ``policy.task_timeout`` charges the stuck tasks and
+    requeues the queued ones; a dead worker (``BrokenExecutor``) marks
+    the pool broken — in isolation mode (``charge_broken``) the single
+    in-flight point is charged as a ``crash`` attempt, otherwise the
+    unfinished points are requeued uncharged for the next pool.
+    """
+    futures: Dict = {}
+    requeue: List = []
+    broke = False
+    quarantined_crash = False
+
+    def submit(point) -> None:
+        nonlocal broke
+        try:
+            futures[pool.submit(work, point)] = point
+        except (BrokenExecutor, RuntimeError):
+            broke = True
+            requeue.append(point)
+
+    def charge(point, kind, detail) -> bool:
+        """One failed attempt; True when the point is now quarantined."""
+        nonlocal quarantined_crash
+        attempts[point] += 1
+        if attempts[point] > policy.max_retries:
+            report.failed.append(TaskFailure(point, kind, detail, attempts[point]))
+            if kind == "crash":
+                quarantined_crash = True
+            return True
+        report.retries += 1
+        return False
+
+    for point in batch:
+        if broke:
+            requeue.append(point)
+        else:
+            submit(point)
+
+    while futures:
+        done, _ = wait(
+            list(futures), timeout=policy.task_timeout, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            # Stall: nothing finished within task_timeout.  Futures that
+            # cancel were still queued — requeue them uncharged; the rest
+            # are running in (possibly wedged) workers — charge them.
+            for future in [f for f in list(futures) if f.cancel()]:
+                requeue.append(futures.pop(future))
+            for future, point in futures.items():
+                if not charge(
+                    point, "timeout",
+                    f"no result within {policy.task_timeout:g}s",
+                ):
+                    requeue.append(point)
+            futures.clear()
+            broke = True  # wedged workers: the pool must be killed
+            break
+        for future in done:
+            point = futures.pop(future)
+            try:
+                outcome = future.result()
+            except CancelledError:
+                requeue.append(point)
+            except (BrokenExecutor, EOFError, ConnectionError) as exc:
+                broke = True
+                if charge_broken:
+                    if not charge(point, "crash", f"worker died: {exc}"):
+                        requeue.append(point)
+                else:
+                    # Which task killed the worker is unknowable here;
+                    # requeue uncharged and let isolation mode indict.
+                    requeue.append(point)
+            except Exception as exc:
+                if not charge(point, "error", f"{type(exc).__name__}: {exc}"):
+                    time.sleep(policy.backoff(attempts[point]))
+                    if broke:
+                        requeue.append(point)
+                    else:
+                        submit(point)
+            else:
+                outcomes.append(outcome)
+    return requeue, broke, quarantined_crash
+
+
+def _abort_pool(pool) -> None:
+    """Tear a (possibly broken or wedged) pool down without waiting.
+
+    ``shutdown(wait=False)`` alone leaves hung workers running — and the
+    interpreter joining them at exit — so any surviving worker processes
+    are terminated outright.  Touches the private ``_processes`` map; on
+    interpreters without it, termination degrades to shutdown only.
+    """
     try:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
-            return list(pool.map(work, points))
-    except (OSError, ImportError):
-        # Restricted environments (no sem_open / fork): degrade to serial.
-        return [work(point) for point in points]
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass

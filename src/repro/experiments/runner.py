@@ -25,6 +25,8 @@ For whole-grid fan-out over a process pool, see
 
 from __future__ import annotations
 
+import os
+import sys
 from dataclasses import replace
 from typing import Dict, Optional, Tuple
 
@@ -54,6 +56,23 @@ _MEMO: Dict[PointKey, SimStats] = {}
 
 #: simulations actually executed by this process (memo/disk misses).
 _SIMULATIONS_RUN = 0
+
+
+def _fire_fault(site: str, **context) -> None:
+    """Deterministic fault-injection hook (:mod:`repro.verify.faults`).
+
+    Imported lazily — :mod:`repro.verify` itself imports this package,
+    so a top-level import would cycle — and only once the injector is
+    armed (module already loaded, or ``$REPRO_FAULTS`` set, which is how
+    specs reach pool workers).  With nothing armed this is one dict
+    probe per *task*, nowhere near any hot loop.
+    """
+    module = sys.modules.get("repro.verify.faults")
+    if module is None:
+        if not os.environ.get("REPRO_FAULTS"):
+            return
+        from ..verify import faults as module
+    module.fire(site, **context)
 
 
 def point_config(
@@ -146,6 +165,9 @@ def compute_point(key: PointKey, observer=None) -> SimStats:
     """
     global _SIMULATIONS_RUN
     name, width, ports, mode, scale, block_on_scalar_operand, sampling_key = key
+    _fire_fault(
+        "grid.point", benchmark=name, width=width, ports=ports, mode=mode, scale=scale
+    )
     config = point_config(width, ports, mode, block_on_scalar_operand)
     sampling = sampling_from_key(sampling_key)
     fingerprint = sampling.fingerprint() if sampling is not None else None

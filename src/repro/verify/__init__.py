@@ -17,12 +17,22 @@ audits it adversarially and continuously:
 * :mod:`~repro.verify.minimize` — delta-debugging of diverging programs
   into minimal reproducers and self-contained ``.repro.json`` artifacts;
 * :mod:`~repro.verify.campaign` — the bounded fuzz loop behind
-  ``python -m repro fuzz run`` and the CI ``fuzz-smoke`` lane.
+  ``python -m repro fuzz run`` and the CI ``fuzz-smoke`` lane — with
+  crash containment: an exception escaping the oracle becomes a
+  ``crash`` divergence with a saved reproducer, never an aborted run;
+* :mod:`~repro.verify.faults` — the deterministic fault-injection
+  harness (``REPRO_FAULTS`` / :func:`~repro.verify.faults.install`)
+  that makes workers crash, hang, raise, or corrupt disk-cache entries
+  on demand, so the fault-tolerant experiment fabric
+  (:mod:`repro.experiments.parallel`) and the cache's self-healing can
+  be proven path by path.
 
 See ``docs/TESTING.md`` for the test pyramid and triage workflow.
 """
 
+from . import faults
 from .campaign import CampaignReport, DivergenceRecord, run_campaign
+from .faults import FaultSpec, InjectedFault
 from .fuzzer import (
     Corpus,
     Genome,
@@ -48,6 +58,7 @@ from .oracle import (
     Divergence,
     OracleConfig,
     OracleReport,
+    crash_report,
     diff_memory,
     run_oracle,
 )
@@ -60,12 +71,16 @@ __all__ = [
     "DIVERGE",
     "Divergence",
     "DivergenceRecord",
+    "FaultSpec",
     "Genome",
     "INVALID",
+    "InjectedFault",
     "LoopSpec",
     "OracleConfig",
     "OracleReport",
+    "crash_report",
     "diff_memory",
+    "faults",
     "generate_genome",
     "instruction_count",
     "load_artifact",

@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..observe.events import coverage_signature
+from . import faults
 from .fuzzer import Corpus, generate_genome, mutate_genome, synthesize
 from .minimize import instruction_count, minimize_program, save_artifact
-from .oracle import DIVERGE, AGREE, OracleConfig, run_oracle
+from .oracle import DIVERGE, AGREE, OracleConfig, crash_report, run_oracle
 
 #: fraction of inputs taken from corpus mutation once entries exist.
 MUTATION_RATE = 0.5
@@ -66,6 +67,7 @@ class CampaignReport:
     agreed: int = 0
     invalid: int = 0
     mutated: int = 0
+    crashes: int = 0
     dynamic_instructions: int = 0
     divergences: List[DivergenceRecord] = field(default_factory=list)
     corpus: Optional[Dict] = None
@@ -86,6 +88,7 @@ class CampaignReport:
             "agreed": self.agreed,
             "invalid": self.invalid,
             "mutated": self.mutated,
+            "crashes": self.crashes,
             "dynamic_instructions": self.dynamic_instructions,
             "divergences": [d.to_dict() for d in self.divergences],
             "corpus": self.corpus,
@@ -96,7 +99,9 @@ class CampaignReport:
     def summary(self) -> str:
         lines = [
             f"fuzz: {self.programs} programs "
-            f"({self.mutated} mutated, {self.invalid} invalid), "
+            f"({self.mutated} mutated, {self.invalid} invalid"
+            + (f", {self.crashes} crashed" if self.crashes else "")
+            + "), "
             f"{self.dynamic_instructions} dynamic instructions, "
             f"{self.elapsed_seconds:.1f}s"
             + (" [budget exhausted]" if self.budget_exhausted else "")
@@ -153,7 +158,51 @@ def run_campaign(
         if genome is None:
             genome = generate_genome(rng)
         program = synthesize(genome)
-        result = run_oracle(program, oracle)
+        try:
+            faults.fire("fuzz.program", index=index)
+            result = run_oracle(program, oracle)
+        except Exception as exc:
+            # Crash containment: an exception escaping the oracle is the
+            # most valuable input of the whole campaign — the machinery
+            # itself fell over on it.  Record it as a `crash` divergence,
+            # save the offending program verbatim as a reproducer (no
+            # minimization: re-running an oracle that just crashed is not
+            # a safe predicate), and keep fuzzing.
+            report.programs += 1
+            report.crashes += 1
+            crashed = crash_report(exc)
+            if log:
+                log(
+                    f"CRASH at program {index}: "
+                    f"{crashed.divergences[0].detail} — saving reproducer"
+                )
+            artifact_path = None
+            if artifact_dir:
+                artifact_path = str(
+                    save_artifact(
+                        f"{artifact_dir}/seed{seed}-p{index}-crash.repro.json",
+                        program,
+                        oracle,
+                        crashed,
+                        provenance={
+                            "campaign_seed": seed,
+                            "program_index": index,
+                            "genome": genome.to_dict(),
+                        },
+                    )
+                )
+            size = instruction_count(program)
+            report.divergences.append(
+                DivergenceRecord(
+                    index=index,
+                    kinds=["crash"],
+                    original_instructions=size,
+                    minimized_instructions=size,
+                    minimize_tests=0,
+                    artifact=artifact_path,
+                )
+            )
+            continue
         report.programs += 1
         report.dynamic_instructions += result.dynamic_instructions
 

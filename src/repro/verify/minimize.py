@@ -252,12 +252,19 @@ def replay_artifact(path) -> Dict:
     *differently* means the reproducer is sensitive to a simulator
     change and should be re-minimized.
     """
-    from .oracle import OracleConfig, run_oracle  # local: avoid cycle
+    from .oracle import OracleConfig, crash_report, run_oracle  # local: avoid cycle
 
     payload = load_artifact(path)
     program = program_from_dict(payload["program"])
     config = OracleConfig.from_dict(payload["oracle"])
-    replayed = run_oracle(program, config)
+    try:
+        replayed = run_oracle(program, config)
+    except Exception as exc:
+        # Same containment as the campaign: a reproducer whose program
+        # still crashes the oracle replays as a `crash` divergence (and
+        # matches its recorded report bit-for-bit) instead of taking the
+        # CLI down with a traceback.
+        replayed = crash_report(exc)
     return {
         "schema": "repro.fuzz.replay/v1",
         "artifact": str(path),

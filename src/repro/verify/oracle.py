@@ -43,6 +43,7 @@ from ..functional.trace import Trace
 from ..observe import Observer, TraceBus
 from ..pipeline.config import make_config
 from ..pipeline.machine import Machine
+from . import faults
 
 #: oracle verdicts.
 AGREE = "agree"
@@ -177,9 +178,34 @@ def _check_machine(
         )
 
 
+def crash_description(exc: BaseException) -> str:
+    """Deterministic one-line rendering of an oracle-crashing exception.
+
+    Shared by campaign containment and artifact replay so a crash
+    reproducer's recorded and replayed reports compare bit-for-bit.
+    """
+    return f"{type(exc).__name__}: {exc}"
+
+
+def crash_report(exc: BaseException) -> OracleReport:
+    """The report for an exception that escaped the oracle machinery.
+
+    Anything other than the handled verdicts (a simulator bug tripping
+    an unexpected error path, an injected fault) is itself a divergence
+    from the contract — verdict ``diverge``, kind ``crash`` — so the
+    campaign records it, saves the offending program as a reproducer,
+    and keeps running instead of aborting with a traceback.
+    """
+    return OracleReport(
+        verdict=DIVERGE,
+        divergences=[Divergence("oracle", "crash", crash_description(exc))],
+    )
+
+
 def run_oracle(program, config: Optional[OracleConfig] = None) -> OracleReport:
     """Differentially execute ``program``; see the module docstring."""
     config = config or OracleConfig()
+    faults.fire("oracle.run", instructions=len(program.instructions))
     report = OracleReport(verdict=AGREE)
 
     # -- 1: reference semantics -------------------------------------------

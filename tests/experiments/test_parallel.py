@@ -46,8 +46,16 @@ def test_resolve_jobs_precedence(monkeypatch):
     monkeypatch.setenv("REPRO_JOBS", "junk")
     with pytest.raises(ValueError):
         resolve_jobs()
+    # Zero/negative job counts are configuration errors, not a request
+    # for serial mode — rejected loudly rather than clamped to 1.
     monkeypatch.setenv("REPRO_JOBS", "0")
-    assert resolve_jobs() == 1  # floored at one worker
+    with pytest.raises(ValueError, match="positive integer"):
+        resolve_jobs()
+    monkeypatch.delenv("REPRO_JOBS")
+    with pytest.raises(ValueError, match="positive integer"):
+        resolve_jobs(0)
+    with pytest.raises(ValueError, match="positive integer"):
+        resolve_jobs(-2)
 
 
 def test_serial_parallel_and_cached_results_identical(fresh_state):

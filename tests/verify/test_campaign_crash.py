@@ -1,0 +1,137 @@
+"""Crash containment in fuzz campaigns.
+
+An exception escaping the oracle is the most valuable input of a whole
+campaign — the simulator itself fell over on it — and it must be
+*captured*, not fatal: the campaign finishes its budget, the crash is
+reported as a ``crash`` divergence with the offending program saved
+verbatim as a ``.repro.json`` reproducer, and ``fuzz replay``
+reproduces the crash from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import faults, replay_artifact, run_campaign
+from repro.verify.minimize import load_artifact
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_oracle_crash_is_contained_and_the_campaign_finishes(tmp_path):
+    faults.install([
+        {
+            "site": "fuzz.program",
+            "action": "raise",
+            "match": {"index": 2},
+            "message": "oracle exploded",
+        }
+    ])
+    logged = []
+    report = run_campaign(
+        seed=1,
+        max_programs=5,
+        use_corpus=False,
+        minimize=False,
+        artifact_dir=str(tmp_path / "artifacts"),
+        log=logged.append,
+    )
+
+    # The campaign survived the crash and finished its budget.
+    assert report.programs == 5
+    assert report.crashes == 1
+    assert not report.ok
+
+    (record,) = report.divergences
+    assert record.index == 2
+    assert record.kinds == ["crash"]
+    assert record.minimize_tests == 0  # crashes are never re-minimized
+    assert record.artifact and record.artifact.endswith("-crash.repro.json")
+    assert any("CRASH at program 2" in line for line in logged)
+
+    # The report round-trips with the crash accounted for.
+    payload = report.to_dict()
+    assert payload["crashes"] == 1
+    assert payload["divergences"][0]["kinds"] == ["crash"]
+    assert "1 crashed" in report.summary()
+
+    # The artifact is a complete reproducer: program, oracle config,
+    # recorded crash report, provenance.
+    artifact = load_artifact(record.artifact)
+    assert artifact["report"]["verdict"] == "diverge"
+    divergence = artifact["report"]["divergences"][0]
+    assert divergence["kind"] == "crash"
+    assert "oracle exploded" in divergence["detail"]
+    assert artifact["provenance"]["program_index"] == 2
+    assert artifact["program"]["instructions"]
+
+
+def test_campaign_without_artifact_dir_still_records_the_crash(tmp_path):
+    faults.install([
+        {"site": "fuzz.program", "action": "raise", "match": {"index": 0}}
+    ])
+    report = run_campaign(
+        seed=1, max_programs=2, use_corpus=False, minimize=False, artifact_dir="",
+    )
+    assert report.crashes == 1
+    (record,) = report.divergences
+    assert record.artifact is None
+
+
+def test_replay_reproduces_a_recorded_crash(tmp_path):
+    # Arm a fault *inside the oracle* so both the campaign and the later
+    # replay hit it — exactly the shape of a deterministic simulator bug.
+    faults.install([
+        {"site": "oracle.run", "action": "raise", "message": "kaboom"}
+    ])
+    report = run_campaign(
+        seed=3,
+        max_programs=1,
+        use_corpus=False,
+        minimize=False,
+        artifact_dir=str(tmp_path / "artifacts"),
+    )
+    (record,) = report.divergences
+    assert record.kinds == ["crash"]
+
+    result = replay_artifact(record.artifact)
+    assert result["matches"] is True
+    assert result["replayed"]["verdict"] == "diverge"
+    assert result["replayed"]["divergences"][0]["kind"] == "crash"
+    assert "kaboom" in result["replayed"]["divergences"][0]["detail"]
+
+    # With the bug "fixed" (fault disarmed) the replay no longer matches
+    # the recorded crash — the signal that the reproducer is stale.
+    faults.clear()
+    healed = replay_artifact(record.artifact)
+    assert healed["matches"] is False
+    assert healed["replayed"]["verdict"] != "diverge" or (
+        healed["replayed"]["divergences"][0]["kind"] != "crash"
+    )
+
+
+def test_env_armed_crash_reaches_the_campaign(tmp_path, monkeypatch):
+    # The REPRO_FAULTS env form drives the CI fault-smoke lane.
+    monkeypatch.setenv(
+        "REPRO_FAULTS",
+        json.dumps([
+            {"site": "fuzz.program", "action": "raise", "match": {"index": 1}}
+        ]),
+    )
+    report = run_campaign(
+        seed=5, max_programs=3, use_corpus=False, minimize=False,
+        artifact_dir=str(tmp_path / "artifacts"),
+    )
+    assert report.programs == 3
+    assert report.crashes == 1
+    assert report.divergences[0].index == 1

@@ -1,0 +1,158 @@
+"""Unit tests for the deterministic fault injector itself.
+
+The robustness suites (test_fault_tolerance, test_cache_selfheal,
+test_campaign_crash) trust this module to fire exactly when scripted;
+these tests pin that contract — matching, firing budgets, env parsing,
+and every file-corruption action.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import faults
+from repro.verify.faults import FaultSpec, InjectedFault
+
+
+@pytest.fixture(autouse=True)
+def disarmed(monkeypatch):
+    """Every test starts and ends with nothing armed, env included."""
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def test_nothing_armed_is_a_noop():
+    assert not faults.active()
+    faults.fire("grid.point", benchmark="li")  # must not raise
+
+
+def test_raise_action_and_message():
+    faults.install([{"site": "grid.point", "action": "raise", "message": "boom"}])
+    assert faults.active()
+    with pytest.raises(InjectedFault, match="boom"):
+        faults.fire("grid.point", benchmark="li")
+    faults.clear()
+    assert not faults.active()
+    faults.fire("grid.point", benchmark="li")
+
+
+def test_match_is_a_subset_of_context():
+    faults.install(
+        [{"site": "grid.point", "action": "raise", "match": {"benchmark": "li", "mode": "V"}}]
+    )
+    # Different value, missing key, different site: no fire.
+    faults.fire("grid.point", benchmark="compress", mode="V")
+    faults.fire("grid.point", benchmark="li", mode="noIM")
+    faults.fire("grid.point", mode="V")
+    faults.fire("oracle.run", benchmark="li", mode="V")
+    # Superset context with every matched key equal: fires.
+    with pytest.raises(InjectedFault):
+        faults.fire("grid.point", benchmark="li", mode="V", width=4)
+
+
+def test_match_compares_ints_and_strings_leniently():
+    # Env-var JSON can't know Python-side types; "4" must match 4.
+    faults.install([{"site": "grid.point", "action": "raise", "match": {"width": "4"}}])
+    with pytest.raises(InjectedFault):
+        faults.fire("grid.point", width=4)
+
+
+def test_times_budget_is_per_spec_and_exhausts():
+    faults.install([{"site": "grid.point", "action": "raise", "times": 2}])
+    for _ in range(2):
+        with pytest.raises(InjectedFault):
+            faults.fire("grid.point")
+    faults.fire("grid.point")  # budget spent: silent
+    faults.fire("grid.point")
+
+
+def test_injected_context_manager_disarms_on_exit():
+    spec = FaultSpec(site="oracle.run", action="raise")
+    with faults.injected([spec]):
+        with pytest.raises(InjectedFault):
+            faults.fire("oracle.run")
+    faults.fire("oracle.run")
+
+
+def test_unknown_action_and_unknown_keys_rejected():
+    with pytest.raises(ValueError, match="unknown fault action"):
+        FaultSpec(site="grid.point", action="explode")
+    with pytest.raises(ValueError, match="unknown fault-spec keys"):
+        FaultSpec.from_dict({"site": "grid.point", "action": "raise", "bogus": 1})
+
+
+def test_env_specs_fire_and_keep_their_budget(monkeypatch):
+    monkeypatch.setenv(
+        faults.FAULTS_ENV,
+        json.dumps([{"site": "grid.point", "action": "raise", "times": 1}]),
+    )
+    assert faults.active()
+    with pytest.raises(InjectedFault):
+        faults.fire("grid.point")
+    # The parsed env list is cached, so the times=1 budget stays spent
+    # across firings within one process.
+    faults.fire("grid.point")
+
+
+def test_malformed_env_is_a_loud_error(monkeypatch):
+    monkeypatch.setenv(faults.FAULTS_ENV, "{not json")
+    with pytest.raises(ValueError, match="malformed REPRO_FAULTS"):
+        faults.fire("grid.point")
+    monkeypatch.setenv(faults.FAULTS_ENV, json.dumps({"site": "x"}))
+    with pytest.raises(ValueError, match="malformed REPRO_FAULTS"):
+        faults.fire("grid.point")
+
+
+def test_corrupt_file_truncate_garbage_delete_tmp(tmp_path):
+    original = b'{"format": 1, "payload": "0123456789"}'
+
+    def written():
+        target = tmp_path / "entry.json"
+        target.write_bytes(original)
+        return target
+
+    path = written()
+    with faults.injected([{"site": "cache.store", "action": "truncate"}]):
+        faults.corrupt_file("cache.store", path, section="stats")
+    assert path.read_bytes() == original[: len(original) // 2]
+
+    path = written()
+    with faults.injected([{"site": "cache.store", "action": "garbage"}]):
+        faults.corrupt_file("cache.store", path, section="stats")
+    with pytest.raises(ValueError):
+        json.loads(path.read_text(errors="replace"))
+
+    path = written()
+    with faults.injected([{"site": "cache.store", "action": "delete"}]):
+        faults.corrupt_file("cache.store", path, section="stats")
+    assert not path.exists()
+
+    path = written()
+    with faults.injected([{"site": "cache.store", "action": "tmp_leftover"}]):
+        faults.corrupt_file("cache.store", path, section="stats")
+    assert path.read_bytes() == original  # the entry itself is untouched
+    assert (tmp_path / "entry.json.orphan.tmp").exists()
+
+
+def test_corrupt_file_honours_section_match(tmp_path):
+    path = tmp_path / "entry.json"
+    path.write_text("intact")
+    with faults.injected(
+        [{"site": "cache.store", "action": "delete", "match": {"section": "trace"}}]
+    ):
+        faults.corrupt_file("cache.store", path, section="stats")
+        assert path.exists()
+        faults.corrupt_file("cache.store", path, section="trace")
+        assert not path.exists()
+
+
+def test_corrupt_file_can_raise_mid_store(tmp_path):
+    path = tmp_path / "entry.json"
+    path.write_text("intact")
+    with faults.injected([{"site": "cache.store", "action": "raise", "message": "torn"}]):
+        with pytest.raises(InjectedFault, match="torn"):
+            faults.corrupt_file("cache.store", path, section="stats")
