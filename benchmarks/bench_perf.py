@@ -61,6 +61,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.kernel import get_kernel  # noqa: E402
 from repro.observe import Observer, StageProfiler  # noqa: E402
 from repro.pipeline.config import make_config  # noqa: E402
 from repro.pipeline.machine import Machine  # noqa: E402
@@ -199,6 +200,7 @@ def run_benchmark(include_sampled: bool = True) -> dict:
         "unit": "KIPS (thousand simulated instructions / second)",
         "scale": SCALE,
         "rounds": ROUNDS,
+        "kernel": get_kernel().name,
         "baseline_kips": BASELINE_KIPS,
         "current_kips": current,
         "speedup": speedup,
@@ -257,7 +259,14 @@ def observe_check(tolerance: float) -> int:
 
 
 def check_regression(tolerance: float) -> int:
-    """CI guard: fail when throughput regresses below the recorded floor."""
+    """CI guard: fail when throughput regresses below the recorded floor.
+
+    Two floors, both scaled by ``tolerance``: the aggregate
+    ``min_speedup`` (the historical guard) and every *per-point* KIPS in
+    ``current_kips`` — so a regression localized to one configuration
+    (e.g. only the V-mode engine path) cannot hide behind another
+    point's headroom.
+    """
     recorded = json.loads(RESULT_PATH.read_text())
     floor = recorded["min_speedup"] * (1.0 - tolerance)
     fresh = run_benchmark(include_sampled=False)
@@ -266,15 +275,64 @@ def check_regression(tolerance: float) -> int:
         f"min_speedup: fresh {fresh['min_speedup']:.3f} vs recorded "
         f"{recorded['min_speedup']:.3f} (floor {floor:.3f})"
     )
+    failed = False
     if fresh["min_speedup"] < floor:
         print("FAIL: simulator throughput regressed below the recorded floor")
+        failed = True
+    for label, kips in recorded["current_kips"].items():
+        point_floor = kips * (1.0 - tolerance)
+        got = fresh["current_kips"].get(label, 0.0)
+        status = "OK" if got >= point_floor else "FAIL"
+        if status == "FAIL":
+            failed = True
+        print(
+            f"{label}: fresh {got:.2f} KIPS vs recorded {kips:.2f} "
+            f"(floor {point_floor:.2f}) {status}"
+        )
+    if failed:
         return 1
     print("OK")
     return 0
 
 
+def append_history(payload: dict, timestamp: str | None) -> list:
+    """The ``history`` array for the fresh payload: every entry recorded
+    in the existing BENCH_perf.json plus one for this run.
+
+    Each entry is the measurement summary (timestamp, kernel backend,
+    per-point KIPS, speedups) — the full trajectory across PRs stays
+    machine-readable instead of being overwritten by each rewrite.  The
+    timestamp comes from the ``--timestamp`` CLI arg (e.g.
+    ``--timestamp "$(date -u +%Y-%m-%dT%H:%M:%SZ)"``) so the harness
+    itself stays deterministic; ``null`` is recorded when absent.
+    """
+    history: list = []
+    if RESULT_PATH.exists():
+        try:
+            history = json.loads(RESULT_PATH.read_text()).get("history", [])
+        except (ValueError, OSError):
+            history = []
+    history.append(
+        {
+            "timestamp": timestamp,
+            "kernel": payload["kernel"],
+            "current_kips": payload["current_kips"],
+            "speedup": payload["speedup"],
+            "min_speedup": payload["min_speedup"],
+        }
+    )
+    return history
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--timestamp",
+        default=None,
+        metavar="ISO8601",
+        help="timestamp recorded with this run's history entry "
+        '(e.g. "$(date -u +%%Y-%%m-%%dT%%H:%%M:%%SZ)")',
+    )
     parser.add_argument(
         "--check",
         action="store_true",
@@ -304,6 +362,7 @@ def main(argv=None) -> int:
     if args.check:
         return check_regression(args.tolerance)
     payload = run_benchmark()
+    payload["history"] = append_history(payload, args.timestamp)
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     return 0

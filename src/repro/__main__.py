@@ -436,6 +436,14 @@ def main(argv=None) -> int:
         prog="python -m repro",
         description="Speculative Dynamic Vectorization (ISCA 2002) reproduction",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("python", "numpy"),
+        default=None,
+        help="batch-evaluation backend for this process (default: "
+        "$REPRO_KERNEL or python; results are bit-identical either way, "
+        "see docs/PERFORMANCE.md)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
@@ -562,6 +570,15 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_list)
 
     args = parser.parse_args(argv)
+    if args.kernel is not None:
+        import os
+
+        from .core.kernel import set_kernel
+
+        # The env var too, so --jobs worker processes (spawn-safe) and
+        # any subprocesses inherit the same backend choice.
+        os.environ["REPRO_KERNEL"] = args.kernel
+        set_kernel(args.kernel)
     return args.fn(args)
 
 

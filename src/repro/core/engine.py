@@ -40,7 +40,6 @@ from typing import Deque, List, Optional, Tuple, Union
 
 from typing import TYPE_CHECKING
 
-from ..functional.semantics import apply_alu
 from ..isa.opcodes import FU_LATENCY, Opcode, fu_class_of
 from ..observe.events import (
     SQUASH_COHERENCE,
@@ -56,6 +55,7 @@ if TYPE_CHECKING:  # avoid a package-level import cycle with the pipeline
     from ..observe import Observer
     from ..pipeline.config import MachineConfig
     from ..pipeline.stats import SimStats
+from .kernel import get_kernel
 from .table_of_loads import TableOfLoads
 from .vector_regfile import VectorRegister, VectorRegisterFile
 from .vrmt import VRMT, VRMTEntry
@@ -100,9 +100,13 @@ class Decision:
     #: (chained creations validate element 0 of the new register, so they
     #: are both TRIGGER and a validation).
     counts_as_validation: bool = False
-    #: VRMT rollback data for squashes: (pc, snapshot-or-None), or None when
-    #: the decision did not touch the VRMT.
-    vrmt_rollback: Optional[Tuple[int, Optional[VRMTEntry]]] = None
+    #: VRMT rollback data for squashes: ``(pc, entry-or-None, offset)``,
+    #: or None when the decision did not touch the VRMT.  ``entry`` is the
+    #: *original* :class:`VRMTEntry` object (only its ``offset`` field
+    #: ever mutates after creation, so reinstalling it with the saved
+    #: offset restores the exact pre-decode state without allocating a
+    #: snapshot copy); None means there was no mapping to restore.
+    vrmt_rollback: Optional[Tuple[int, Optional[VRMTEntry], int]] = None
 
 
 #: Shared plain-scalar decision for the hottest decode outcome (no VRMT
@@ -206,6 +210,8 @@ class VectorizationEngine:
         self._cancel_dead = vc.cancel_dead_fetches
         self._fetch_ahead = vc.fetch_ahead
         self._check_invariants = config.check_invariants
+        #: process-wide batch-evaluation backend (python or numpy).
+        self._kernel = get_kernel()
 
     # ------------------------------------------------------------------
     # Decode-time decisions
@@ -237,7 +243,7 @@ class VectorizationEngine:
 
     def _load_validation(self, pc: int, addr: int, mapping: VRMTEntry, now: int) -> Decision:
         """VRMT hit for a load: validate the next element (chaining at VL)."""
-        snapshot = mapping.snapshot()
+        rollback = (pc, mapping, mapping.offset)
         if mapping.offset >= self.vl:
             # §3.2: offset reached the register length -> spawn the next
             # vector instance; this dynamic instance validates its elem 0.
@@ -252,12 +258,10 @@ class VectorizationEngine:
                 pc, base, stride, now, chained=True, actual_addr=addr,
                 fp=prev.fp_load,
             )
-            if decision.kind is DecodeKind.SCALAR:
-                # Pool empty: stay scalar this instance, keep the mapping so
-                # a later instance can retry the chain.
-                decision.vrmt_rollback = (pc, snapshot)
-                return decision
-            decision.vrmt_rollback = (pc, snapshot)
+            # Scalar outcome (pool empty): the mapping stays so a later
+            # instance can retry the chain; either way the pre-decode
+            # state is this mapping at its old offset.
+            decision.vrmt_rollback = rollback
             return decision
         elem = mapping.offset
         mapping.offset += 1
@@ -269,7 +273,7 @@ class VectorizationEngine:
             elem=elem,
             pred_addr=reg.pred_addrs[elem],
             counts_as_validation=True,
-            vrmt_rollback=(pc, snapshot),
+            vrmt_rollback=rollback,
         )
 
     def _new_load_instance(
@@ -284,7 +288,7 @@ class VectorizationEngine:
     ) -> Decision:
         """Allocate a register and launch element fetches for a load."""
         prev_state = self.vrmt.table.peek(pc)
-        snapshot = prev_state.snapshot() if prev_state is not None else None
+        rollback = (pc, prev_state, prev_state.offset if prev_state is not None else 0)
         reg = self.vrf.allocate(pc, is_load=True, start_offset=0, mrbb=self.gmrbb)
         if reg is None:
             self.stats.vreg_alloc_failures += 1
@@ -292,6 +296,7 @@ class VectorizationEngine:
             return Decision(DecodeKind.SCALAR)
         reg.fp_load = fp
         reg.set_load_addresses(base_addr, stride)
+        self.vrf.index_load(reg)
         ahead = self._fetch_ahead
         self._enqueue_load_fetches(reg, self.vl - 1 if ahead <= 0 else ahead)
         self.vrmt.insert(pc, VRMTEntry(reg, offset=1))
@@ -312,7 +317,7 @@ class VectorizationEngine:
             elem=0,
             pred_addr=reg.pred_addrs[0],
             counts_as_validation=chained,
-            vrmt_rollback=(pc, snapshot),
+            vrmt_rollback=rollback,
         )
 
     # ------------------------------------------------------------------
@@ -352,7 +357,7 @@ class VectorizationEngine:
         )
 
         if mapping is not None:
-            snapshot = mapping.snapshot()
+            rollback = (pc, mapping, mapping.offset)
             if mapping.offset < self.vl:
                 matches = self._operands_match(mapping, src_descs, scalar_value)
                 if matches and self._source_elems_aligned(mapping, src_descs):
@@ -365,7 +370,7 @@ class VectorizationEngine:
                         reg=reg,
                         elem=elem,
                         counts_as_validation=True,
-                        vrmt_rollback=(pc, snapshot),
+                        vrmt_rollback=rollback,
                     )
             # Offset exhausted or operands changed: retire this mapping and
             # (if still fed by vector operands) chain a new instance.
@@ -380,12 +385,12 @@ class VectorizationEngine:
                 if any_vector
                 else Decision(DecodeKind.SCALAR)
             )
-            decision.vrmt_rollback = (pc, snapshot)
+            decision.vrmt_rollback = rollback
             return decision
 
         decision = self._new_alu_instance(entry, src_descs, scalar_value, now)
         if decision.vrmt_rollback is None:
-            decision.vrmt_rollback = (pc, None)
+            decision.vrmt_rollback = (pc, None, 0)
         return decision
 
     @staticmethod
@@ -451,13 +456,13 @@ class VectorizationEngine:
         if not any(d[0] == "V" for d in src_descs):
             return Decision(DecodeKind.SCALAR)
         prev_state = self.vrmt.table.peek(pc)
-        snapshot = prev_state.snapshot() if prev_state is not None else None
+        rollback = (pc, prev_state, prev_state.offset if prev_state is not None else 0)
         start = max(d[2] for d in src_descs if d[0] == "V")
         reg = self.vrf.allocate(pc, is_load=False, start_offset=start, mrbb=self.gmrbb)
         if reg is None:
             self.stats.vreg_alloc_failures += 1
             self._sweep_frees(now)
-            return Decision(DecodeKind.SCALAR, vrmt_rollback=(pc, snapshot))
+            return Decision(DecodeKind.SCALAR, vrmt_rollback=rollback)
         srcs: List[Tuple] = []
         recorded_desc = []
         for d in src_descs:
@@ -496,7 +501,7 @@ class VectorizationEngine:
             DecodeKind.TRIGGER,
             reg=reg,
             elem=start,
-            vrmt_rollback=(pc, snapshot),
+            vrmt_rollback=rollback,
         )
 
     # ------------------------------------------------------------------
@@ -524,6 +529,25 @@ class VectorizationEngine:
                         self.stats.fetches_cancelled += 1
                     inst.next_elem += 1
                 continue
+            # Probe the first pending element's sources before building any
+            # batch arrays: the common steady state is "still waiting on
+            # the producer's next element", which needs no list work.
+            first = inst.next_elem
+            if first >= dest.length:
+                continue
+            base = first - inst.start
+            blocked = False
+            for desc in inst.srcs:
+                if desc[0] == "V":
+                    reg = desc[1]
+                    if reg.r_time[base + desc[2]] is None and not (
+                        reg.defunct or reg.freed or reg.abandoned
+                    ):
+                        blocked = True
+                        break
+            if blocked:
+                remaining.append(inst)
+                continue
             self._schedule_alu_elements(inst, now)
             if not inst.done:
                 remaining.append(inst)
@@ -532,19 +556,31 @@ class VectorizationEngine:
     def _schedule_alu_elements(self, inst: VectorAluInstance, now: int) -> None:
         """Schedule ready elements of one ALU instance onto its vector FU.
 
-        The readiness check (``src_elem_known``) and the operand gather are
-        merged into one pass over the sources: a live source element with
-        no compute time yet stops the instance for this cycle; defunct /
-        freed / abandoned sources count as known — their values are
-        garbage, but consumers of garbage are squashed before commit."""
+        Runs in two passes: a gather pass collects the contiguous run of
+        elements whose source elements all have known compute times (a
+        live source element with no compute time yet stops the run;
+        defunct / freed / abandoned sources count as known — their values
+        are garbage, but consumers of garbage are squashed before commit),
+        then the run's issue slots and element values are evaluated as one
+        batch through the kernel backend.
+
+        The issue recurrence per element is
+        ``issue = max(prev_issue + 1, pipe_start, src_ready)`` — one
+        element per cycle through one pipelined FU; ``issue_slots`` folds
+        the constant ``pipe_start`` bound into the first slot's floor
+        (later slots are already > it by monotonicity)."""
         dest = inst.dest
-        latency = inst.latency
         start = inst.start
         srcs = inst.srcs
         dest_length = dest.length
-        pool = self.vec_fu_free[inst.fu_class]
-        while inst.next_elem < dest_length:
-            k = inst.next_elem
+        first = inst.next_elem
+        if first >= dest_length:
+            return
+        a_ops: List[Number] = []
+        b_ops: List[Number] = []
+        readys: List[int] = []
+        k = first
+        while k < dest_length:
             operands: List[Number] = []
             src_ready = 0
             blocked = False
@@ -564,19 +600,37 @@ class VectorizationEngine:
                     operands.append(desc[1])
             if blocked:
                 break
-            if inst.pipe_start is None:
-                unit = min(range(len(pool)), key=pool.__getitem__)
-                inst.pipe_start = max(now, pool[unit], inst.alloc_cycle + 1)
-                inst.last_issue = inst.pipe_start - 1
-                inst.fu_unit = unit
-            issue = max(inst.last_issue + 1, inst.pipe_start, src_ready)
-            inst.last_issue = issue
-            pool[inst.fu_unit] = max(pool[inst.fu_unit], issue + 1)
-            a = operands[0]
-            b = operands[1] if len(operands) > 1 else 0
-            dest.values[k] = apply_alu(inst.op, a, b)
-            dest.r_time[k] = issue + latency
-            inst.next_elem += 1
+            a_ops.append(operands[0])
+            b_ops.append(operands[1] if len(operands) > 1 else 0)
+            readys.append(src_ready)
+            k += 1
+        n = len(readys)
+        if n == 0:
+            return
+        pool = self.vec_fu_free[inst.fu_class]
+        if inst.pipe_start is None:
+            unit = min(range(len(pool)), key=pool.__getitem__)
+            inst.pipe_start = max(now, pool[unit], inst.alloc_cycle + 1)
+            inst.last_issue = inst.pipe_start - 1
+            inst.fu_unit = unit
+        kernel = self._kernel
+        floor = inst.last_issue + 1
+        if inst.pipe_start > floor:
+            floor = inst.pipe_start
+        issues = kernel.issue_slots(readys, floor)
+        values = kernel.alu_values(inst.op, a_ops, b_ops)
+        dest_values = dest.values
+        dest_r_time = dest.r_time
+        latency = inst.latency
+        for i in range(n):
+            dest_values[first + i] = values[i]
+            dest_r_time[first + i] = issues[i] + latency
+        last = issues[-1]
+        inst.last_issue = last
+        unit = inst.fu_unit
+        if pool[unit] < last + 1:
+            pool[unit] = last + 1
+        inst.next_elem = first + n
 
     def take_fetches(self, limit: int) -> List[Tuple[VectorRegister, int, int]]:
         """Pop up to ``limit`` live element fetches for the memory stage.
@@ -666,7 +720,7 @@ class VectorizationEngine:
             self.vrmt.invalidate(pc)
         was_dead = fl.vreg.freed or fl.vreg.defunct
         fl.vreg.defunct = True
-        fl.vrmt_rollback = (pc, None)
+        fl.vrmt_rollback = (pc, None, 0)
         demoted = False
         if fl.vreg.is_load:
             demoted = self.tl.punish(pc)
@@ -721,16 +775,24 @@ class VectorizationEngine:
                     now, VALIDATE_PASS, pc=fl.entry.pc, seq=fl.entry.seq,
                     elem=k, load=reg.is_load,
                 )
-        self._maybe_free(reg, now)
+        if not any(reg.u_flag):
+            self._maybe_free(reg, now)
 
     def on_flush_entry(self, fl, now: int) -> None:
         """Roll back the decode-time effects of one squashed instruction
         (called youngest-first).  Vector registers themselves survive —
         §3.5's control-flow independence — only the scalar-side bookkeeping
         (VRMT offsets, U flags) rewinds."""
-        if fl.vrmt_rollback is not None:
-            pc, snapshot = fl.vrmt_rollback
-            self.vrmt.restore(pc, snapshot)
+        rb = fl.vrmt_rollback
+        if rb is not None:
+            pc, prev, offset = rb
+            if prev is None:
+                self.vrmt.table.invalidate(pc)
+            else:
+                # The original entry object, mutated only in ``offset``
+                # since the rollback was taken: rewind and reinstall.
+                prev.offset = offset
+                self.vrmt.reinstall(pc, prev)
         reg: Optional[VectorRegister] = fl.vreg
         if reg is not None and not reg.freed and fl.velem >= 0:
             reg.u_flag[fl.velem] = False
@@ -749,12 +811,16 @@ class VectorizationEngine:
         """
         if _DEBUG_SKIP_STORE_RANGE_CHECK:
             return False
+        # The register file's coherence index tests every live load
+        # register's [first, last] range against ``addr`` in one batched
+        # kernel call; only actual range hits are walked below.
+        candidates = self.vrf.coherence_candidates(addr)
+        if not candidates:
+            return False
         conflict = False
         bus = self._bus
         hit_pcs: List[int] = []
-        for reg in self.vrf.live_registers():
-            if not reg.covers(addr):
-                continue
+        for reg in candidates:
             if reg.defunct:
                 # A defunct register takes no *new* validations, but ones
                 # already in flight (U set) against unvalidated elements
@@ -821,7 +887,10 @@ class VectorizationEngine:
         if reg.freed or reg.gen != gen:
             return
         reg.f_flag[elem] = True
-        self._maybe_free(reg, now)
+        # _maybe_free's first early-out, checked here to skip the call on
+        # the overwhelmingly common path (a validation still in flight).
+        if not any(reg.u_flag):
+            self._maybe_free(reg, now)
 
     def _maybe_free(self, reg: VectorRegister, now: int) -> None:
         # Inlined reg.should_free(now, gmrbb): this runs on every commit-

@@ -32,18 +32,27 @@ class SetAssocTable(Generic[T]):
     def lookup(self, pc: int) -> Optional[T]:
         """Return the payload for ``pc`` (refreshing LRU), or None."""
         bucket = self._sets[pc % self.sets]
-        for i, (key, payload) in enumerate(bucket):
-            if key == pc:
-                if i:
+        if bucket:
+            head = bucket[0]
+            if head[0] == pc:  # MRU hit: no LRU churn, no scan
+                return head[1]
+            for i in range(1, len(bucket)):
+                item = bucket[i]
+                if item[0] == pc:
                     bucket.insert(0, bucket.pop(i))
-                return payload
+                    return item[1]
         return None
 
     def peek(self, pc: int) -> Optional[T]:
         """Like :meth:`lookup` but without touching LRU state."""
-        for key, payload in self._sets[pc % self.sets]:
-            if key == pc:
-                return payload
+        bucket = self._sets[pc % self.sets]
+        if bucket:
+            head = bucket[0]
+            if head[0] == pc:
+                return head[1]
+            for item in bucket:
+                if item[0] == pc:
+                    return item[1]
         return None
 
     def insert(self, pc: int, payload: T) -> Optional[T]:

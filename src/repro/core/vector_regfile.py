@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple, Union
 
+from .kernel import get_kernel
+
 Number = Union[int, float]
 
 
@@ -117,9 +119,15 @@ class VectorRegister:
 
     def set_load_addresses(self, base_addr: int, stride: int) -> None:
         """Record the predicted element addresses and the §3.6 range."""
-        self.pred_addrs = [base_addr + k * stride for k in range(self.length)]
-        self.first_addr = min(self.pred_addrs)
-        self.last_addr = max(self.pred_addrs)
+        pa = get_kernel().pred_addrs(base_addr, stride, self.length)
+        self.pred_addrs = pa
+        # Strided addresses are monotone, so the range is the two ends.
+        if stride >= 0:
+            self.first_addr = pa[0]
+            self.last_addr = pa[-1]
+        else:
+            self.first_addr = pa[-1]
+            self.last_addr = pa[0]
 
     def covers(self, addr: int) -> bool:
         """True when ``addr`` lies in this load register's address range."""
@@ -194,6 +202,15 @@ class VectorRegisterFile:
         self._free_slots = list(range(num_registers - 1, -1, -1))
         self._gens = [0] * num_registers
         self._live: List[Optional[VectorRegister]] = [None] * num_registers
+        # Coherence index for the §3.6 store check: parallel arrays of the
+        # [first, last] address range of every indexed load register, so a
+        # committing store tests all ranges in one batched kernel call
+        # instead of walking the live set.  Freed registers leave a dead
+        # row (filtered on lookup) until the lazy compaction runs.
+        self._load_regs: List[VectorRegister] = []
+        self._load_firsts: List[int] = []
+        self._load_lasts: List[int] = []
+        self._load_dead = 0
 
     # ------------------------------------------------------------------
 
@@ -229,6 +246,43 @@ class VectorRegisterFile:
         reg.freed = True
         self._live[reg.slot] = None
         self._free_slots.append(reg.slot)
+        if reg.is_load:
+            self._load_dead += 1
+            dead = self._load_dead
+            if dead > 32 and dead * 2 > len(self._load_regs):
+                self._compact_load_index()
+
+    # -- §3.6 coherence index ------------------------------------------
+
+    def index_load(self, reg: VectorRegister) -> None:
+        """Register a load's predicted address range for the store check
+        (called by the engine after ``set_load_addresses``)."""
+        self._load_regs.append(reg)
+        self._load_firsts.append(reg.first_addr)
+        self._load_lasts.append(reg.last_addr)
+
+    def coherence_candidates(self, addr: int) -> List[VectorRegister]:
+        """Live load registers whose predicted range covers ``addr``
+        (batched range compare through the active kernel backend)."""
+        firsts = self._load_firsts
+        if not firsts:
+            return []
+        regs = self._load_regs
+        return [
+            regs[i]
+            for i in get_kernel().range_hits(addr, firsts, self._load_lasts)
+            if not regs[i].freed
+        ]
+
+    def _compact_load_index(self) -> None:
+        regs = self._load_regs
+        keep = [i for i, reg in enumerate(regs) if not reg.freed]
+        firsts = self._load_firsts
+        lasts = self._load_lasts
+        self._load_regs = [regs[i] for i in keep]
+        self._load_firsts = [firsts[i] for i in keep]
+        self._load_lasts = [lasts[i] for i in keep]
+        self._load_dead = 0
 
     def live_registers(self) -> List[VectorRegister]:
         """Currently allocated registers (for sweeps and the store check)."""

@@ -51,6 +51,11 @@ class VRMT:
     def __init__(self, ways: int = 4, sets: int = 64) -> None:
         self.table: SetAssocTable[VRMTEntry] = SetAssocTable(ways, sets)
         self.orphaned_registers = 0
+        #: every PC that ever had a mapping — a conservative superset of
+        #: the live keys (never pruned; programs have few static PCs).
+        #: The dispatch hot path probes it to skip the decode call for
+        #: instructions that were never vectorized.
+        self.pcs = set()
 
     def lookup(self, pc: int) -> Optional[VRMTEntry]:
         """The live entry for ``pc``, or None."""
@@ -63,9 +68,16 @@ class VRMT:
 
     def insert(self, pc: int, entry: VRMTEntry) -> None:
         """Install/replace the mapping for ``pc``; evictions orphan registers."""
+        self.pcs.add(pc)
         evicted = self.table.insert(pc, entry)
         if evicted is not None and not evicted.reg.freed:
             self.orphaned_registers += 1
+
+    def reinstall(self, pc: int, entry: VRMTEntry) -> None:
+        """Squash rollback: put a previously live entry object back without
+        orphan accounting (its register was never evicted-and-lost)."""
+        self.pcs.add(pc)
+        self.table.insert(pc, entry)
 
     def invalidate(self, pc: int) -> Optional[VRMTEntry]:
         """Remove the mapping for ``pc`` (store conflict / misspeculation)."""
@@ -77,6 +89,7 @@ class VRMT:
         if snapshot is None:
             self.table.invalidate(pc)
         else:
+            self.pcs.add(pc)
             self.table.insert(pc, snapshot)
 
     def __len__(self) -> int:

@@ -22,8 +22,6 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..functional.trace import Trace, TraceEntry
-from ..isa.opcodes import Opcode
-from ..isa.program import INSTR_BYTES
 from ..memory.hierarchy import MemoryHierarchy
 from ..observe.events import FETCH_REDIRECT
 from .branch_predictor import GsharePredictor, IndirectPredictor
@@ -55,6 +53,11 @@ class FetchUnit:
         self.trace = trace
         self.hierarchy = hierarchy
         self.width = width
+        # Predecoded structure-of-arrays view of the trace (shared across
+        # machines replaying the same trace) — the hot loop reads these
+        # flat lists instead of touching TraceEntry objects.
+        self._soa = trace.soa()
+        self._n = len(trace.entries)
         # Sampled simulation hands in pre-warmed predictors so a detailed
         # window starts from the state functional warming left behind;
         # default construction (cold predictors) is the exact-mode path.
@@ -96,60 +99,83 @@ class FetchUnit:
 
     # ------------------------------------------------------------------
 
-    def fetch_cycle_group(self, now: int, room: int) -> List[FetchedInstr]:
-        """Fetch up to ``min(width, room)`` instructions for cycle ``now``.
-
-        ``room`` is the space left in the machine's fetch/dispatch queue.
-        Returns an empty list while blocked or stalled.
+    def fetch_into(self, now: int, queue, room: int) -> int:
+        """Fetch up to ``min(width, room)`` instructions for cycle ``now``,
+        appending a packed ``(seq << 1) | mispredicted`` int per instruction
+        to ``queue``.  ``room`` is the space left in the machine's
+        fetch/dispatch queue.  Returns the number fetched (0 while blocked
+        or stalled).
         """
         if self._blocked or now < self._stalled_until:
-            return []
-        entries = self.trace.entries
-        n = len(entries)
+            return 0
         index = self._index
+        n = self._n
         if index >= n:
-            return []
-        group: List[FetchedInstr] = []
-        budget = min(self.width, room)
+            return 0
+        soa = self._soa
+        pc_bytes = soa.pc_bytes
+        bkinds = soa.bkind
+        takens = soa.taken
+        push = queue.append
         l1i_line = self._l1i_line
-        # Opcode range bounds for the branch/control tests (TraceEntry's
-        # is_branch/is_control properties, inlined for this hot loop).
-        beq, bge, jal = Opcode.BEQ, Opcode.BGE, Opcode.JAL
+        hit_bound = now + self._l1i_hit_latency
+        budget = self.width if self.width < room else room
+        last_line = self._last_line
+        fetched = 0
         while budget > 0 and index < n:
-            entry = entries[index]
+            pcb = pc_bytes[index]
             # I-cache: probe when the group crosses into a new line.
-            line = (entry.pc * INSTR_BYTES) // l1i_line
-            if line != self._last_line:
-                ready = self.hierarchy.inst_access(entry.pc * INSTR_BYTES, now)
-                self._last_line = line
-                if ready > now + self._l1i_hit_latency:
+            line = pcb // l1i_line
+            if line != last_line:
+                ready = self.hierarchy.inst_access(pcb, now)
+                last_line = line
+                if ready > hit_bound:
                     # Miss: this group ends; retry once the line arrives.
+                    # (The group formed so far still issues this cycle.)
                     self._stalled_until = ready
                     self._index = index
-                    if group:
-                        # Group formed so far still issues this cycle.
-                        return group
-                    return []
-            mispredicted = False
-            taken = entry.taken
-            op = entry.op
-            if beq <= op <= bge:  # conditional branch
-                correct = self.gshare.predict_and_update(entry.pc, taken)
-                mispredicted = not correct
-            elif op is Opcode.JR:
-                correct = self.indirect.predict_and_update(entry.pc, entry.next_pc)
-                mispredicted = not correct
-            # Direct J/JAL: perfect BTB, taken, never mispredicted.
+                    self._last_line = last_line
+                    return fetched
+            bkind = bkinds[index]
+            taken = takens[index]
+            if bkind == 0:
+                push(index << 1)
+                index += 1
+                fetched += 1
+                budget -= 1
+                continue
+            if bkind == 1:  # conditional branch
+                mispredicted = not self.gshare.predict_and_update(soa.pc[index], taken)
+            elif bkind == 2:  # indirect jump
+                mispredicted = not self.indirect.predict_and_update(
+                    soa.pc[index], soa.next_pc[index]
+                )
+            else:  # direct J/JAL: perfect BTB, taken, never mispredicted
+                mispredicted = False
+            push((index << 1) | mispredicted)
             index += 1
-            group.append(FetchedInstr(entry, mispredicted, now))
+            fetched += 1
             budget -= 1
             if mispredicted:
                 # Fetch goes down the wrong path; starve until resolution.
                 self._blocked = True
                 break
-            if taken and beq <= op <= jal:  # any control transfer
+            if taken:
                 # At most one taken control transfer per cycle.
-                self._last_line = None
+                last_line = None
                 break
         self._index = index
-        return group
+        self._last_line = last_line
+        return fetched
+
+    def fetch_cycle_group(self, now: int, room: int) -> List[FetchedInstr]:
+        """Fetch up to ``min(width, room)`` instructions for cycle ``now``.
+
+        Compatibility wrapper around :meth:`fetch_into` returning
+        :class:`FetchedInstr` objects; the machine's hot loop uses
+        :meth:`fetch_into` directly.
+        """
+        packed: List[int] = []
+        self.fetch_into(now, packed, room)
+        entries = self.trace.entries
+        return [FetchedInstr(entries[p >> 1], bool(p & 1), now) for p in packed]

@@ -21,6 +21,17 @@ Dynamic vectorization hooks (V mode only):
 The model is trace-driven: wrong-path instructions are not simulated, a
 misprediction costs fetch starvation until the branch resolves plus a
 refill penalty (DESIGN.md §5.1).
+
+Execution is *batched*: each cycle the execute stage makes one pass over
+the waiting window, routes ready instructions into per-kind groups
+(validations, zero-latency ops, loads + FU ops), and completes each group
+as a unit — the groups' data-parallel work (address-mismatch compares,
+completion times) goes through the active :mod:`repro.core.kernel`
+backend as typed parallel arrays instead of per-instruction calls.  The
+per-instruction properties the scheduler needs (kind, FU class, latency,
+dependence registers, ...) come from the trace's structure-of-arrays
+predecode (:meth:`repro.functional.trace.Trace.soa`), shared by fetch,
+dispatch and execute.
 """
 
 from __future__ import annotations
@@ -29,21 +40,16 @@ import gc
 from collections import deque
 from heapq import heapify, heappop, heappush
 from operator import attrgetter
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from typing import Deque, List, Optional, Tuple, Union
 
 from ..core.engine import DecodeKind, VectorizationEngine
-from ..frontend.fetch import FetchUnit, FetchedInstr
+from ..core.kernel import get_kernel
+from ..frontend.fetch import FetchUnit
 from ..functional.memory import MemoryImage
 from ..functional.semantics import s64
 from ..functional.trace import Trace, TraceEntry
-from ..isa.opcodes import (
-    FU_LATENCY,
-    FuClass,
-    Opcode,
-    VECTORIZABLE_ALU_OPS,
-    fu_class_of,
-)
-from ..isa.registers import NO_REG, ZERO_REG
+from ..isa.opcodes import FU_LATENCY, FuClass, Opcode
+from ..isa.registers import NO_REG, NUM_LOGICAL_REGS, ZERO_REG
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.ports import DataPorts
 from ..observe import profile as observe_profile
@@ -51,7 +57,8 @@ from ..observe.events import FLUSH_BRANCH, VFETCH_ISSUE
 from .config import MachineConfig
 from .stats import SimStats
 
-# Instruction kinds inside the window.
+# Instruction kinds inside the window.  K_SCALAR/K_LOAD/K_STORE match the
+# trace SoA's static ``kind`` array; the vector kinds are dynamic.
 K_SCALAR = 0  # ALU / control / nop-like, executes on a scalar FU
 K_LOAD = 1
 K_STORE = 2
@@ -61,16 +68,25 @@ K_TRIGGER = 4  # created a vector instance; completes with its start element
 #: dependence token: None (ready), a producing InFlight, or (reg, elem).
 Dep = Union[None, "InFlight", Tuple]
 
-#: opcode sets for the dispatch fast path (avoids per-entry property calls
-#: on the TraceEntry dataclass in the hottest loops).
-_LOAD_OPS = frozenset((Opcode.LD, Opcode.FLD))
-_STORE_OPS = frozenset((Opcode.ST, Opcode.FST))
-_MEM_OPS = _LOAD_OPS | _STORE_OPS
-
 #: mul/div scalar FUs are unpipelined (SimpleScalar convention).
 _UNPIPELINED_FUS = frozenset(
     (FuClass.INT_MUL, FuClass.INT_DIV, FuClass.FP_MUL, FuClass.FP_DIV)
 )
+
+#: int FU class -> cycles a unit stays busy after accepting one op
+#: (latency for unpipelined mul/div units, 1 for pipelined ones).
+_FU_BUSY = {
+    int(cls): (FU_LATENCY[cls] if cls in _UNPIPELINED_FUS else 1)
+    for cls in FuClass
+}
+
+#: stage methods the fused run loop inlines; an instance-level override
+#: of any of these routes the run through the canonical step() loop.
+_STAGE_METHODS = frozenset(
+    {"step", "_commit", "_execute", "_dispatch", "_schedule_memory"}
+)
+
+_FU_NONE = int(FuClass.NONE)
 
 #: single-source fp/convert forms whose missing rs2 is NOT an immediate.
 _NO_IMM_OPS = frozenset(
@@ -79,57 +95,50 @@ _NO_IMM_OPS = frozenset(
 
 
 class InFlight:
-    """One dynamic instruction occupying the window."""
+    """One dynamic instruction occupying the window.
+
+    An instruction reads at most two renamed sources (``dep1``/``dep2``;
+    None = ready) and writes at most one destination, so the squash-time
+    rename rollback is a single (``saved_rd``, ``saved_tok``) pair.
+    """
 
     __slots__ = (
         "seq",
         "entry",
         "kind",
-        "fu_class",
+        "cls",
+        "lat",
         "static_ready",
-        "deps",
+        "dep1",
+        "dep2",
         "base_dep",
         "data_dep",
         "done_at",
         "addr",
         "mispredicted",
         "redirected",
-        "vreg",
-        "velem",
-        "pred_addr",
-        "pred_mismatch",
-        "counts_as_validation",
-        "vrmt_rollback",
-        "saved_renames",
-        "mem_queued",
+        "saved_rd",
+        "saved_tok",
         "waiters",
         "squashed",
     )
 
-    def __init__(self, seq: int, entry: TraceEntry, kind: int) -> None:
+    def __init__(self, seq: int, entry: TraceEntry, kind: int, addr: int) -> None:
         self.seq = seq
         self.entry = entry
         self.kind = kind
-        self.fu_class = FuClass.NONE
+        # cls/lat are only set (by dispatch) for K_SCALAR instructions.
         self.static_ready = 0
-        self.deps: List[Dep] = []
+        self.dep1: Dep = None
+        self.dep2: Dep = None
         self.base_dep: Dep = None
         self.data_dep: Dep = None
         self.done_at: Optional[int] = None
-        self.addr = entry.addr
+        self.addr = addr
         self.mispredicted = False
         self.redirected = False
-        self.vreg = None
-        self.velem = -1
-        self.pred_addr: Optional[int] = None
-        #: True when pred_addr is set and differs from the actual address.
-        #: Both inputs are fixed at dispatch, so the validation outcome of
-        #: the address check is precomputed once (execute hot path).
-        self.pred_mismatch = False
-        self.counts_as_validation = False
-        self.vrmt_rollback = None
-        self.saved_renames: List[Tuple[int, Tuple]] = []
-        self.mem_queued = False
+        self.saved_rd = -1
+        self.saved_tok = None
         #: instructions sleeping until this one's completion time is known
         #: (lazily created; see Machine._execute's dependence check).
         self.waiters: Optional[List["InFlight"]] = None
@@ -138,8 +147,47 @@ class InFlight:
         self.squashed = False
 
 
-#: rename-map entries: ("S", producer-or-None) / ("V", reg, elem).
-_READY = ("S", None)
+class VecInFlight(InFlight):
+    """In-flight instruction carrying vectorizer decode state (V mode).
+
+    Only instructions whose decode decision touched the engine use this
+    class — validations, triggers, and scalars with VRMT rollback data.
+    Plain scalars stay :class:`InFlight` even in V mode; the flush hook
+    keys off the class to skip the engine rollback for them."""
+
+    __slots__ = (
+        "vreg",
+        "velem",
+        "pred_addr",
+        "counts_as_validation",
+        "vrmt_rollback",
+    )
+
+    def __init__(self, seq: int, entry: TraceEntry, kind: int, addr: int) -> None:
+        # InFlight.__init__'s body, flattened: one constructor frame per
+        # decode-touched instruction instead of two (V-mode dispatch path).
+        self.seq = seq
+        self.entry = entry
+        self.kind = kind
+        self.static_ready = 0
+        self.dep1 = None
+        self.dep2 = None
+        self.base_dep = None
+        self.data_dep = None
+        self.done_at = None
+        self.addr = addr
+        self.mispredicted = False
+        self.redirected = False
+        self.saved_rd = -1
+        self.saved_tok = None
+        self.waiters = None
+        self.squashed = False
+        self.vreg = None
+        self.velem = -1
+        self.pred_addr: Optional[int] = None
+        self.counts_as_validation = False
+        self.vrmt_rollback = None
+
 
 _SEQ_KEY = attrgetter("seq")
 
@@ -185,25 +233,35 @@ class Machine:
         self.engine: Optional[VectorizationEngine] = (
             VectorizationEngine(config, self.stats, observer) if config.vectorize else None
         )
+        #: structure-of-arrays predecode shared with fetch and dispatch.
+        self._soa = trace.soa()
+        self._entries = trace.entries
+        #: process-wide batch-evaluation backend (python or numpy).
+        self._kernel = get_kernel()
 
         self.rob: Deque[InFlight] = deque()
         self.lsq: List[InFlight] = []
         self.waiting: List[InFlight] = []
-        #: validations/triggers whose element has a *known* completion time
-        #: in the future, parked off the per-cycle scan until that cycle.
+        #: instructions whose first blocking time is *known* and in the
+        #: future, parked off the per-cycle scan until that cycle.
         #: Min-heap of (wake_cycle, seq, InFlight) — see _execute for the
         #: exactness argument.
         self._parked: List[Tuple[int, int, InFlight]] = []
         self.mem_queue: List[InFlight] = []
-        self.fetch_queue: Deque[FetchedInstr] = deque()
-        self.rename: Dict[int, Tuple] = {}
-        self.committed_vec_map: Dict[int, Optional[Tuple]] = {}
+        #: fetched-but-undispatched instructions as packed ints:
+        #: (seq << 1) | mispredicted  (see FetchUnit.fetch_into).
+        self.fetch_queue: Deque[int] = deque()
+        #: flat rename map indexed by logical register: None = architectural
+        #: (ready), an InFlight = scalar producer, (vreg, elem) = vector.
+        self.rename: List = [None] * NUM_LOGICAL_REGS
+        #: committed vector mappings per logical register: (reg, gen, elem).
+        self.committed_vec_map: List[Optional[Tuple]] = [None] * NUM_LOGICAL_REGS
         self.committed_count = 0
         self._max_dispatched_seq = -1
         self._now = 0
-        #: scalar FU pools: class -> list of unit free-at cycles.
+        #: scalar FU pools: int FU class -> list of unit free-at cycles.
         self.fu_free = {
-            cls: [0] * count for cls, count in config.fu_pool_sizes().items()
+            int(cls): [0] * count for cls, count in config.fu_pool_sizes().items()
         }
         #: (branch_seq, resolved_cycle) windows for Fig 10 accounting.
         self.cfi_windows: Deque[Tuple[int, int]] = deque()
@@ -221,49 +279,19 @@ class Machine:
         self._wide_bus = config.wide_bus
         self._line_bytes = config.hierarchy.l1d_line
         self._max_store_commit = config.vector.max_store_commit
-        self._block_scalar_operand = config.vector.block_on_scalar_operand
+        self._block_scalar = (
+            self.engine is not None and config.vector.block_on_scalar_operand
+        )
+        #: observability hooks, armed by _run_observed (None = dormant).
+        self._batch_hist = None
+        self._profiler = None
+        self._mem_seconds = 0.0
 
     # ==================================================================
     # helpers
     # ==================================================================
 
-    def _dep_time(self, dep: Dep) -> Optional[int]:
-        """Cycle at which a dependence token's value is available."""
-        if dep is None:
-            return 0
-        if isinstance(dep, tuple):
-            reg, elem = dep
-            return reg.r_time[elem]
-        return dep.done_at
-
-    def _deps_ready(self, fl: InFlight, now: int) -> bool:
-        for dep in fl.deps:
-            t = self._dep_time(dep)
-            if t is None or t > now:
-                return False
-        return fl.static_ready <= now
-
-    def _rename_ref(self, logical: int) -> Tuple:
-        if logical == ZERO_REG:
-            return _READY
-        return self.rename.get(logical, _READY)
-
-    def _dep_of_ref(self, ref: Tuple) -> Dep:
-        if ref[0] == "V":
-            return (ref[1], ref[2])
-        return ref[1]
-
-    def _dep_of_reg(self, logical: int) -> Dep:
-        """Dependence token for reading ``logical`` (combined
-        :meth:`_rename_ref` + :meth:`_dep_of_ref`, dispatch hot path)."""
-        if logical == ZERO_REG:
-            return None
-        ref = self.rename.get(logical, _READY)
-        if ref[0] == "V":
-            return (ref[1], ref[2])
-        return ref[1]
-
-    def _acquire_fu(self, fu_class: FuClass, now: int) -> bool:
+    def _acquire_fu(self, fu_class: int, now: int) -> bool:
         """Grab a scalar functional unit for an op starting this cycle."""
         pool = self.fu_free.get(fu_class)
         if pool is None:
@@ -271,11 +299,8 @@ class Machine:
         for i, free_at in enumerate(pool):
             if free_at <= now:
                 # Simple units are fully pipelined; mul/div units are busy
-                # for the whole operation.
-                if fu_class in _UNPIPELINED_FUS:
-                    pool[i] = now + FU_LATENCY[fu_class]
-                else:
-                    pool[i] = now + 1
+                # for the whole operation (see _FU_BUSY).
+                pool[i] = now + _FU_BUSY[fu_class]
                 return True
         return False
 
@@ -293,6 +318,7 @@ class Machine:
         commit_width = self._commit_width
         max_store_commit = self._max_store_commit
         is_backward = self._is_backward
+        bkinds = self._soa.bkind
         vec_map = self.committed_vec_map
         cfi_windows = self.cfi_windows
         while rob and committed < commit_width:
@@ -341,8 +367,8 @@ class Machine:
                     engine.on_validation_commit(fl, now, self.ports)
 
                 rd = entry.rd
-                if rd != NO_REG and rd != ZERO_REG:
-                    old = vec_map.get(rd)
+                if rd > 0:  # neither NO_REG nor the zero register
+                    old = vec_map[rd]
                     if old is not None:
                         engine.set_element_freed(old[0], old[1], old[2], now)
                     if kind >= K_VALIDATION:
@@ -350,7 +376,7 @@ class Machine:
                     else:
                         vec_map[rd] = None
 
-                if is_backward[entry.pc] and entry.is_control:
+                if is_backward[entry.pc] and bkinds[fl.seq]:
                     engine.on_backward_branch_commit(entry.pc, now)
 
             if conflict:
@@ -368,14 +394,11 @@ class Machine:
             windows.popleft()
         if not windows:
             return
+        is_validation = fl.kind >= K_VALIDATION and fl.counts_as_validation
         for bseq, resolved in windows:
             if bseq < seq <= bseq + 100:
                 self.stats.cfi_window_instructions += 1
-                if (
-                    fl.counts_as_validation
-                    and fl.vreg is not None
-                    and fl.velem >= 0
-                ):
+                if is_validation and fl.vreg is not None and fl.velem >= 0:
                     # Fig 10's metric: the instruction needed no execution —
                     # it validated vector state that survived the flush.
                     self.stats.cfi_reused += 1
@@ -388,14 +411,34 @@ class Machine:
     # ==================================================================
 
     def _execute(self, now: int) -> None:
+        """One batched pass over the waiting window.
+
+        Phase 1 walks the seq-sorted waiting list once, resolving
+        dependences and routing *ready* instructions into per-kind groups
+        (validations/triggers, zero-latency completions, issue ops);
+        phases 2–4 then complete each group as a unit.  The phase split is
+        exact because the deferred work has no intra-cycle feedback into
+        phase 1's routing decisions:
+
+        * validations and stores consume neither issue width nor FUs, so
+          extracting them from the seq-ordered scan leaves every width/FU
+          allocation decision — made in phase 4 in seq order over the
+          issue group — unchanged;
+        * completion times assigned this cycle are always > ``now``, so no
+          instruction processed later in the same pass can observe them as
+          ready — consumers sleep on the producer's ``waiters`` list and
+          re-enter at exactly the cycle the per-instruction rescan would
+          have advanced (see the dependence-check comment below);
+        * a validation failure at seq F only flushes instructions with
+          seq >= F; phases 3–4 gate on F, and instructions older than F
+          are unaffected by the failure's vector-side writes.
+        """
         issues_left = self._width
         engine = self.engine
         stats = self.stats
-        fu_latency = FU_LATENCY
-        acquire_fu = self._acquire_fu
         try_load = self._try_load
-        # Parked validations/triggers whose wake cycle has arrived rejoin
-        # the scan.  Both lists are seq-sorted, so extend+sort is a cheap
+        # Parked instructions whose wake cycle has arrived rejoin the
+        # scan.  Both lists are seq-sorted, so extend+sort is a cheap
         # two-run merge and the scan order matches the never-parked order.
         parked = self._parked
         if parked and parked[0][0] <= now:
@@ -406,73 +449,132 @@ class Machine:
         still_waiting: List[InFlight] = []
         keep = still_waiting.append
         flush_seq: Optional[int] = None
+        # Ready groups, built lazily (most cycles most are empty).
+        rv: Optional[List] = None  # validations / triggers
+        rf: Optional[List] = None  # zero-latency: stores + no-FU scalars
+        ri: Optional[List] = None  # issue ops: loads + FU scalars
+        # ---- phase 1: dependence scan + routing --------------------------
         for fl in self.waiting:
-            if flush_seq is not None:
-                if fl.seq < flush_seq:
-                    keep(fl)
-                continue
-            # Dependence check (inlined _deps_ready), with compaction: a
-            # satisfied token can never become unsatisfied again (done_at
-            # and r_time are written once per object, ``now`` only grows),
-            # so the dep list is dropped the first cycle everything is
-            # ready and later rescans skip straight to the structural
-            # checks.  A blocked instruction leaves the scan entirely
-            # instead of being rescanned every cycle: when the first
-            # blocking token's time is already known it parks on the timed
-            # heap until that cycle; when the producer has not issued yet
-            # (done_at still None) it sleeps on the producer's ``waiters``
-            # list and is moved to the heap the moment the producer's
-            # completion time is set.  Either way it rejoins the scan — in
-            # seq order — exactly at the first cycle the original
-            # every-cycle rescan could have advanced past that token, so
-            # the elided rescans are unobservable.
-            deps = fl.deps
-            if deps:
-                blocked_t = 0
-                blocked_dep = None
-                for dep in deps:
-                    if dep is None:
-                        continue
-                    if type(dep) is tuple:
-                        t = dep[0].r_time[dep[1]]
-                    else:
-                        t = dep.done_at
-                    if t is None or t > now:
-                        blocked_t = t
-                        blocked_dep = dep
-                        break
-                if blocked_dep is not None:
-                    if blocked_t is not None:
-                        heappush(parked, (blocked_t, fl.seq, fl))
-                    elif type(blocked_dep) is tuple:
+            # Dependence check, with compaction: a satisfied token can
+            # never become unsatisfied again (done_at and r_time are
+            # written once per object, ``now`` only grows), so each slot
+            # is cleared the first cycle it is ready and later rescans
+            # skip straight to the structural checks.  A blocked
+            # instruction leaves the scan entirely instead of being
+            # rescanned every cycle: when the blocking token's time is
+            # already known it parks on the timed heap until that cycle;
+            # when the producer has not issued yet (done_at still None) it
+            # sleeps on the producer's ``waiters`` list and is moved to
+            # the heap the moment the producer's completion time is set.
+            # Either way it rejoins the scan — in seq order — exactly at
+            # the first cycle the original every-cycle rescan could have
+            # advanced past that token, so the elided rescans are
+            # unobservable.
+            dep = fl.dep1
+            if dep is not None:
+                if type(dep) is tuple:
+                    t = dep[0].r_time[dep[1]]
+                    if t is None:
                         # Unscheduled vector element: no wake hook; rescan.
                         keep(fl)
-                    else:
-                        w = blocked_dep.waiters
+                        continue
+                    if t > now:
+                        heappush(parked, (t, fl.seq, fl))
+                        continue
+                else:
+                    t = dep.done_at
+                    if t is None:
+                        w = dep.waiters
                         if w is None:
-                            blocked_dep.waiters = [fl]
+                            dep.waiters = [fl]
                         else:
                             w.append(fl)
-                    continue
-                fl.deps = []
+                        continue
+                    if t > now:
+                        heappush(parked, (t, fl.seq, fl))
+                        continue
+                fl.dep1 = None
+            dep = fl.dep2
+            if dep is not None:
+                if type(dep) is tuple:
+                    t = dep[0].r_time[dep[1]]
+                    if t is None:
+                        keep(fl)
+                        continue
+                    if t > now:
+                        heappush(parked, (t, fl.seq, fl))
+                        continue
+                else:
+                    t = dep.done_at
+                    if t is None:
+                        w = dep.waiters
+                        if w is None:
+                            dep.waiters = [fl]
+                        else:
+                            w.append(fl)
+                        continue
+                    if t > now:
+                        heappush(parked, (t, fl.seq, fl))
+                        continue
+                fl.dep2 = None
             if fl.static_ready > now:
                 keep(fl)
                 continue
             kind = fl.kind
-            if kind >= K_VALIDATION:  # K_VALIDATION or K_TRIGGER
+            if kind == K_SCALAR:
+                if fl.cls == _FU_NONE:
+                    if rf is None:
+                        rf = [fl]
+                    else:
+                        rf.append(fl)
+                elif ri is None:
+                    ri = [fl]
+                else:
+                    ri.append(fl)
+            elif kind == K_LOAD:
+                if ri is None:
+                    ri = [fl]
+                else:
+                    ri.append(fl)
+            elif kind == K_STORE:
+                if rf is None:
+                    rf = [fl]
+                else:
+                    rf.append(fl)
+            elif rv is None:
+                rv = [fl]
+            else:
+                rv.append(fl)
+
+        bh = self._batch_hist
+        done1 = now + 1
+        # ---- phase 2: validations / triggers (batched address compare) ---
+        if rv is not None:
+            n = len(rv)
+            if bh is not None:
+                bh(n)
+            if n == 1:
+                fl = rv[0]
+                p = fl.pred_addr
+                mism = (True,) if (p is not None and p != fl.entry.addr) else (False,)
+            else:
+                mism = self._kernel.mismatch_flags(
+                    [f.pred_addr for f in rv], [f.entry.addr for f in rv]
+                )
+            for i, fl in enumerate(rv):
                 # Inlined engine.validation_check: element still live and
-                # (for loads) predicted address matches the actual one —
-                # the address comparison was precomputed at dispatch.
+                # (for loads) predicted address matches the actual one.
                 vreg = fl.vreg
-                if vreg.freed or vreg.defunct or fl.pred_mismatch:
+                if vreg.freed or vreg.defunct or mism[i]:
                     # Misspeculation: recover to scalar from this instruction.
                     engine.on_validation_failure(fl, now)
                     flush_seq = fl.seq
-                    continue
+                    # The rest of the group is younger (seq order): flushed.
+                    break
                 t = vreg.r_time[fl.velem]  # inlined vreg.elem_done
                 if t is not None:
                     if t <= now:
-                        fl.done_at = now + 1
+                        fl.done_at = done1
                     else:
                         # The completion time is known and r_time is
                         # write-once while this op is in flight (its U flag
@@ -487,55 +589,75 @@ class Machine:
                         heappush(parked, (t, fl.seq, fl))
                 else:
                     keep(fl)
-                continue
-
-            if kind == K_STORE:
-                # Address generation + data capture; memory written at commit.
-                fl.done_at = now + 1
-                continue
-
-            if kind == K_LOAD:
+        # ---- phase 3: zero-latency completions ---------------------------
+        if rf is not None:
+            for fl in rf:
+                if flush_seq is not None and fl.seq >= flush_seq:
+                    break
+                fl.done_at = done1
+                if fl.kind != K_STORE:
+                    # Address generation + data capture for stores; memory
+                    # is written at commit and nothing renames to a store.
+                    if fl.waiters is not None:
+                        self._wake_waiters(fl)
+                    if fl.mispredicted and not fl.redirected:
+                        self._resolve_mispredict(fl, now)
+        # ---- phase 4: issue (loads + FU ops, seq order, width-limited) ---
+        if ri is not None:
+            acquire_fu = self._acquire_fu
+            by_cls = {}
+            for fl in ri:
+                if flush_seq is not None and fl.seq >= flush_seq:
+                    break
+                if fl.kind == K_LOAD:
+                    if issues_left <= 0:
+                        keep(fl)
+                        continue
+                    r = try_load(fl, now)
+                    if type(r) is int:
+                        if r == 0:
+                            issues_left -= 1
+                        elif r < 0:
+                            keep(fl)
+                        else:
+                            heappush(parked, (r, fl.seq, fl))
+                    else:
+                        # Sleep on the store's producer until its
+                        # completion time is known.
+                        w = r.waiters
+                        if w is None:
+                            r.waiters = [fl]
+                        else:
+                            w.append(fl)
+                    continue
                 if issues_left <= 0:
                     keep(fl)
                     continue
-                status = try_load(fl, now)
-                if status == "wait":
-                    keep(fl)
-                else:
-                    issues_left -= 1
-                continue
-
-            # Scalar ALU / control / nop.
-            fu_class = fl.fu_class
-            if fu_class is FuClass.NONE:
-                fl.done_at = now + 1
-            else:
-                if issues_left <= 0:
-                    keep(fl)
-                    continue
-                if not acquire_fu(fu_class, now):
+                cls = fl.cls
+                if not acquire_fu(cls, now):
                     keep(fl)
                     continue
                 issues_left -= 1
-                fl.done_at = now + fu_latency[fu_class]
-            # Only scalar ALU ops and scalar loads ever appear as "S"
-            # producers in the rename map, so only they can hold sleepers
-            # (loads wake from _try_load/_schedule_memory instead).
-            if fl.waiters is not None:
-                self._wake_waiters(fl)
-            if fl.mispredicted and not fl.redirected:
-                fl.redirected = True
-                stats.branch_mispredicts += 1
-                resolve = fl.done_at
-                if self._bus is not None:
-                    self._bus.emit(
-                        now, FLUSH_BRANCH, pc=fl.entry.pc, seq=fl.seq,
-                        resolve=resolve,
-                    )
-                self.fetch_unit.redirect(
-                    fl.seq + 1, resolve + self._mispredict_penalty
-                )
-                self.cfi_windows.append((fl.seq, resolve))
+                group = by_cls.get(cls)
+                if group is None:
+                    by_cls[cls] = [fl]
+                else:
+                    group.append(fl)
+            # Complete each functional class as one batch: one shared
+            # completion time per class, assigned group-wide.
+            for cls, group in by_cls.items():
+                if bh is not None:
+                    bh(len(group))
+                done = now + group[0].lat
+                for fl in group:
+                    fl.done_at = done
+                    # Only scalar ALU ops and scalar loads ever appear as
+                    # producers in the rename map, so only they can hold
+                    # sleepers (loads wake from _try_load/_schedule_memory).
+                    if fl.waiters is not None:
+                        self._wake_waiters(fl)
+                    if fl.mispredicted and not fl.redirected:
+                        self._resolve_mispredict(fl, now)
 
         if flush_seq is not None and parked:
             # The failure defuncted a register; any parked op — in
@@ -544,12 +666,41 @@ class Machine:
             # as an unparked entry would.  (Younger ones are flushed below.)
             still_waiting.extend(e[2] for e in parked)
             del parked[:]
+        if len(still_waiting) > 1:
+            # Phases 1/2/4 each keep in seq order, so this is a cheap
+            # merge of a few sorted runs (timsort), restoring the
+            # seq-sorted invariant the next scan relies on.
             still_waiting.sort(key=_SEQ_KEY)
         self.waiting = still_waiting
         if flush_seq is not None:
             self._flush_from(flush_seq, now + 1 + self._mispredict_penalty, now)
         if self.mem_queue or (engine is not None and engine.pending_fetches):
-            self._schedule_memory(now)
+            prof = self._profiler
+            if prof is None:
+                self._schedule_memory(now)
+            else:
+                # Satellite of the batching rework: port scheduling
+                # reached from inside the execute stage is real memory
+                # work — attribute it to the ``memory`` stage instead of
+                # silently folding it into ``execute``.
+                clock = observe_profile.perf_counter
+                t0 = clock()
+                self._schedule_memory(now)
+                dt = clock() - t0
+                prof.account("memory", dt)
+                self._mem_seconds += dt
+
+    def _resolve_mispredict(self, fl: InFlight, now: int) -> None:
+        """Branch resolution: start the fetch-redirect/refill epilogue."""
+        fl.redirected = True
+        self.stats.branch_mispredicts += 1
+        resolve = fl.done_at
+        if self._bus is not None:
+            self._bus.emit(
+                now, FLUSH_BRANCH, pc=fl.entry.pc, seq=fl.seq, resolve=resolve
+            )
+        self.fetch_unit.redirect(fl.seq + 1, resolve + self._mispredict_penalty)
+        self.cfi_windows.append((fl.seq, resolve))
 
     def _wake_waiters(self, fl: InFlight) -> None:
         """``fl``'s completion time just became known: move its sleepers to
@@ -563,8 +714,15 @@ class Machine:
                 heappush(parked, (done, c.seq, c))
         fl.waiters = None
 
-    def _try_load(self, fl: InFlight, now: int) -> str:
-        """Disambiguate a ready load; returns 'wait', 'forwarded' or 'queued'."""
+    def _try_load(self, fl: InFlight, now: int):
+        """Disambiguate a ready load.
+
+        Returns 0 when the load issued this cycle (forwarded or queued to
+        the memory stage, consuming an issue slot), -1 when it must stay
+        on the rescanned waiting list (blocked on an unscheduled vector
+        element), a cycle number > now to park until, or the blocking
+        store's producing InFlight to sleep on (completion time unknown).
+        """
         # All older stores must have known addresses (their base dep ready).
         my_addr = fl.addr
         my_seq = fl.seq
@@ -574,35 +732,48 @@ class Machine:
                 break
             if other.kind != K_STORE:
                 continue
-            dep = other.base_dep  # inlined _dep_time
+            dep = other.base_dep
             if dep is None:
-                t = 0
+                pass
             elif type(dep) is tuple:
                 t = dep[0].r_time[dep[1]]
+                if t is None:
+                    return -1
+                if t + 1 > now:
+                    # Exact rejoin: the per-cycle rescan would first pass
+                    # this store at cycle t + 1 (t is write-once).
+                    return t + 1
             else:
                 t = dep.done_at
-            if t is None or t + 1 > now:
-                return "wait"
+                if t is None:
+                    return dep
+                if t + 1 > now:
+                    return t + 1
             if other.addr == my_addr:
                 forwarding_store = other  # youngest older match wins
         if forwarding_store is not None:
             dep = forwarding_store.data_dep
             if dep is None:
-                t = 0
+                pass
             elif type(dep) is tuple:
                 t = dep[0].r_time[dep[1]]
+                if t is None:
+                    return -1
+                if t > now:
+                    return t
             else:
                 t = dep.done_at
-            if t is None or t > now:
-                return "wait"
+                if t is None:
+                    return dep
+                if t > now:
+                    return t
             fl.done_at = now + 1
             if fl.waiters is not None:
                 self._wake_waiters(fl)
             self.stats.forwarded_loads += 1
-            return "forwarded"
+            return 0
         self.mem_queue.append(fl)
-        fl.mem_queued = True
-        return "queued"
+        return 0
 
     def _schedule_memory(self, now: int) -> None:
         """Issue L1 data-port transactions: scalar loads, then (V mode)
@@ -637,94 +808,104 @@ class Machine:
             return
 
         # Wide bus: group pending reads by line; one access serves up to 4.
+        # Group members mix scalar loads (InFlight objects) and vector
+        # element fetches (3-tuples) — the member's type is its tag.
         line_bytes = self._line_bytes
         mem_queue = self.mem_queue
         groups: List[Tuple[int, List]] = []
-        index: Dict[int, int] = {}
+        index = {}
         for fl in mem_queue:
-            line = fl.addr - (fl.addr % line_bytes)
-            gi = index.get(line)
-            if gi is not None and len(groups[gi][1]) < 4:
-                groups[gi][1].append(("scalar", fl))
+            addr = fl.addr
+            line = addr - (addr % line_bytes)
+            g = index.get(line)
+            if g is not None and len(g) < 4:
+                g.append(fl)
             else:
-                index[line] = len(groups)
-                groups.append((line, [("scalar", fl)]))
+                g = [fl]
+                index[line] = g
+                groups.append((line, g))
         taken_fetches = []
         if engine is not None:
             # Up to one line group per free port, four elements per group.
             budget = 4 * ports.available()
             taken_fetches = engine.take_fetches(budget)
-            for reg, elem, addr in taken_fetches:
+            for item in taken_fetches:
+                addr = item[2]
                 line = addr - (addr % line_bytes)
-                gi = index.get(line)
-                if gi is not None and len(groups[gi][1]) < 4:
-                    groups[gi][1].append(("vector", (reg, elem, addr)))
+                g = index.get(line)
+                if g is not None and len(g) < 4:
+                    g.append(item)
                 else:
-                    index[line] = len(groups)
-                    groups.append((line, [("vector", (reg, elem, addr))]))
+                    g = [item]
+                    index[line] = g
+                    groups.append((line, g))
 
-        served_scalar = set()
-        served_vector = set()
+        # Serving marks members in place (done_at / r_time[elem] become
+        # non-None), so the retain filters below need no served-id sets.
+        scalar_served = False
+        vector_served = False
         blocked = False
         bus = self._bus
+        stats = self.stats
+        data_access = self.hierarchy.data_access
+        commit_load = self.commit_memory.load
         for line, members in groups:
             if blocked or ports.available() == 0:
                 break
-            ready = self.hierarchy.data_access(line, now)
+            ready = data_access(line, now)
             if ready is None:  # MSHR full: stop issuing this cycle
                 blocked = True
                 break
             ports.take()
             txn = ports.open_read()
-            self.stats.read_accesses += 1
+            stats.read_accesses += 1
             scalar_words = None
             spec_words = 0
-            for tag, payload in members:
-                if tag == "scalar":
-                    fl = payload
-                    fl.done_at = ready
-                    if fl.waiters is not None:
-                        self._wake_waiters(fl)
-                    if scalar_words is None:
-                        scalar_words = {fl.addr}
-                    else:
-                        scalar_words.add(fl.addr)
-                    served_scalar.add(id(fl))
-                    self.stats.scalar_loads_to_memory += 1
-                else:
-                    reg, elem, addr = payload
+            for m in members:
+                if type(m) is tuple:
+                    reg, elem, addr = m
                     # Apply the architectural write-back conversion (LD
                     # wraps to int64, FLD coerces to float): a raw memory
                     # word can be the other domain's type — e.g. an FST'd
                     # float re-read by LD — and downstream vector ALU
                     # instances must see what a scalar consumer would.
-                    word = self.commit_memory.load(addr)
+                    word = commit_load(addr)
                     reg.values[elem] = (
                         float(word) if reg.fp_load else s64(int(word))
                     )
                     reg.r_time[elem] = ready
                     reg.txn_ids[elem] = txn
                     spec_words += 1
-                    served_vector.add((id(reg), elem))
+                    vector_served = True
                     if bus is not None:
                         bus.emit(
                             now, VFETCH_ISSUE, pc=reg.pc,
                             elem=elem, addr=addr, ready=ready,
                         )
+                else:
+                    m.done_at = ready
+                    if m.waiters is not None:
+                        self._wake_waiters(m)
+                    if scalar_words is None:
+                        scalar_words = {m.addr}
+                    else:
+                        scalar_words.add(m.addr)
+                    scalar_served = True
+                    stats.scalar_loads_to_memory += 1
             if scalar_words:
                 ports.add_useful(txn, len(scalar_words))
             if spec_words:
                 ports.add_speculative(txn, spec_words)
 
-        if served_scalar:
-            self.mem_queue = [fl for fl in mem_queue if id(fl) not in served_scalar]
+        if scalar_served:
+            self.mem_queue = [fl for fl in mem_queue if fl.done_at is None]
         if taken_fetches:
-            if served_vector:
+            if vector_served:
                 engine.requeue_fetches(
                     [
                         item
                         for item in taken_fetches
-                        if (id(item[0]), item[1]) not in served_vector
+                        if item[0].r_time[item[1]] is None
                     ]
                 )
             else:
@@ -736,13 +917,11 @@ class Machine:
 
     def _dispatch(self, now: int) -> None:
         """Rename and insert up to ``width`` fetched instructions into the
-        window.  The per-instruction body (the old ``_dispatch_one``) is
-        inlined into the loop: it runs once per simulated instruction and
-        the call overhead was measurable."""
+        window.  All static per-instruction properties come from the trace
+        SoA arrays, indexed by the packed seq from the fetch queue."""
         dispatched = 0
         engine = self.engine
         width = self._width
-        rob_size = self._rob_size
         lsq_size = self._lsq_size
         fetch_queue = self.fetch_queue
         rob = self.rob
@@ -750,132 +929,151 @@ class Machine:
         waiting = self.waiting
         stats = self.stats
         rename = self.rename
-        # The config-flag and opcode-class guards of
-        # _blocked_on_scalar_operand are evaluated inline so the common
-        # case (non-vectorizable op, or the feature disabled) costs no call.
-        block_scalar = engine is not None and self._block_scalar_operand
+        entries = self._entries
+        soa = self._soa
+        kinds = soa.kind
+        clss = soa.cls
+        lats = soa.lat
+        valus = soa.valu
+        rds = soa.rd
+        d1s = soa.dep1
+        d2s = soa.dep2
+        addrs = soa.addr
+        block_scalar = self._block_scalar
         max_seq = self._max_dispatched_seq
         ready_at = now + 1
+        rob_room = self._rob_size - len(rob)
+        pcs_soa = soa.pc
+        vpcs = engine.vrmt.pcs if engine is not None else None
         while fetch_queue and dispatched < width:
-            fi = fetch_queue[0]
-            entry = fi.entry
-            op = entry.op
-            if len(rob) >= rob_size:
+            if rob_room <= 0:
                 break
-            if op in _MEM_OPS and len(lsq) >= lsq_size:
+            packed = fetch_queue[0]
+            seq = packed >> 1
+            kind = kinds[seq]
+            if kind != K_SCALAR and len(lsq) >= lsq_size:
                 break
-            is_valu = op in VECTORIZABLE_ALU_OPS
+            entry = entries[seq]
+            is_valu = valus[seq]
+            # Vectorizer probe fast path: an arithmetic instruction whose PC
+            # never had a VRMT mapping and whose renamed sources are all
+            # scalar can only decode to a plain scalar with no engine state
+            # touched — skip the decode call (and the scalar-operand stall
+            # check, which needs a live mapping) outright.  ``vpcs`` is a
+            # conservative superset of the live VRMT keys, and a VRMT probe
+            # for an unmapped PC has no side effects, so elided and executed
+            # decodes are indistinguishable.
+            vec_probe = False
+            if is_valu and vpcs is not None:
+                if pcs_soa[seq] in vpcs:
+                    vec_probe = True
+                else:
+                    r = d1s[seq]
+                    if r >= 0 and type(rename[r]) is tuple:
+                        vec_probe = True
+                    else:
+                        r = d2s[seq]
+                        if r >= 0 and type(rename[r]) is tuple:
+                            vec_probe = True
             if (
                 block_scalar
-                and is_valu
+                and vec_probe
                 and self._blocked_on_scalar_operand(entry, now)
             ):
                 stats.scalar_operand_stall_cycles += 1
                 break
             fetch_queue.popleft()
             dispatched += 1
+            rob_room -= 1
 
-            seq = entry.seq
             first_time = seq > max_seq
             if first_time:
                 max_seq = seq
                 self._max_dispatched_seq = seq
-            is_load = op in _LOAD_OPS
 
             decision = None
             if engine is not None:
-                if is_load:
+                if kind == K_LOAD:
                     decision = engine.decode_load(entry, now, first_time)
-                elif is_valu and entry.rd != NO_REG:
+                elif vec_probe and entry.rd != NO_REG:
                     decision = engine.decode_alu(entry, self._src_descs(entry), now)
 
             if decision is not None and decision.kind is not DecodeKind.SCALAR:
-                kind = (
+                fl = VecInFlight(
+                    seq,
+                    entry,
                     K_VALIDATION
                     if decision.kind is DecodeKind.VALIDATION
-                    else K_TRIGGER
+                    else K_TRIGGER,
+                    addrs[seq],
                 )
-                fl = InFlight(seq, entry, kind)
                 fl.vreg = decision.reg
                 fl.velem = decision.elem
-                pred = decision.pred_addr
-                fl.pred_addr = pred
-                fl.pred_mismatch = pred is not None and pred != entry.addr
+                fl.pred_addr = decision.pred_addr
                 fl.counts_as_validation = decision.counts_as_validation
                 fl.vrmt_rollback = decision.vrmt_rollback
                 fl.static_ready = ready_at
-                if is_load:
+                if kind == K_LOAD:
                     # The address check needs the base register (AGU).
-                    fl.deps.append(self._dep_of_reg(entry.rs1))
-                self._set_rename(fl, entry.rd, ("V", decision.reg, decision.elem))
+                    r = d1s[seq]
+                    if r >= 0:
+                        fl.dep1 = rename[r]
+                rd = rds[seq]
+                if rd > 0:
+                    fl.saved_rd = rd
+                    fl.saved_tok = rename[rd]
+                    rename[rd] = (decision.reg, decision.elem)
                 rob.append(fl)
                 waiting.append(fl)
                 continue
 
             # A scalar decision may still have touched the VRMT (entry
-            # invalidated or chain attempt failed); its rollback data is
-            # attached below.  The dependence-token reads inline
-            # _dep_of_reg (hot path).
-            if is_load:
-                fl = InFlight(seq, entry, K_LOAD)
-                fl.fu_class = FuClass.MEM
-                src = entry.rs1
-                if src == ZERO_REG:
-                    dep = None
-                else:
-                    ref = rename.get(src, _READY)
-                    dep = (ref[1], ref[2]) if ref[0] == "V" else ref[1]
+            # invalidated or chain attempt failed); only then does the
+            # in-flight record need the vector-capable class for its
+            # rollback slot.
+            if decision is not None and decision.vrmt_rollback is not None:
+                fl = VecInFlight(seq, entry, kind, addrs[seq])
+                fl.vrmt_rollback = decision.vrmt_rollback
+            else:
+                fl = InFlight(seq, entry, kind, addrs[seq])
+            if kind == K_LOAD:
+                r = d1s[seq]
+                dep = rename[r] if r >= 0 else None
                 fl.base_dep = dep
-                fl.deps.append(dep)
-                rd = entry.rd
-                if rd != NO_REG and rd != ZERO_REG:  # inlined _set_rename
-                    fl.saved_renames.append((rd, rename.get(rd, _READY)))
-                    rename[rd] = ("S", fl)
+                fl.dep1 = dep
+                rd = rds[seq]
+                if rd > 0:
+                    fl.saved_rd = rd
+                    fl.saved_tok = rename[rd]
+                    rename[rd] = fl
                 lsq.append(fl)
-            elif op in _STORE_OPS:
-                fl = InFlight(seq, entry, K_STORE)
-                fl.fu_class = FuClass.MEM
-                src = entry.rs1
-                if src == ZERO_REG:
-                    base = None
-                else:
-                    ref = rename.get(src, _READY)
-                    base = (ref[1], ref[2]) if ref[0] == "V" else ref[1]
-                src = entry.rs2
-                if src == ZERO_REG:
-                    data = None
-                else:
-                    ref = rename.get(src, _READY)
-                    data = (ref[1], ref[2]) if ref[0] == "V" else ref[1]
+            elif kind == K_STORE:
+                r = d1s[seq]
+                base = rename[r] if r >= 0 else None
+                r = d2s[seq]
+                data = rename[r] if r >= 0 else None
                 fl.base_dep = base
                 fl.data_dep = data
-                fl.deps.append(base)
-                fl.deps.append(data)
+                fl.dep1 = base
+                fl.dep2 = data
                 lsq.append(fl)
             else:
-                fl = InFlight(seq, entry, K_SCALAR)
-                fl.fu_class = (
-                    FuClass.NONE
-                    if (op is Opcode.NOP or op is Opcode.HALT)
-                    else fu_class_of(op)
-                )
-                deps = fl.deps
-                src = entry.rs1
-                if src != NO_REG and src != ZERO_REG:
-                    ref = rename.get(src, _READY)
-                    deps.append((ref[1], ref[2]) if ref[0] == "V" else ref[1])
-                src = entry.rs2
-                if src != NO_REG and src != ZERO_REG:
-                    ref = rename.get(src, _READY)
-                    deps.append((ref[1], ref[2]) if ref[0] == "V" else ref[1])
-                rd = entry.rd
-                if rd != NO_REG and rd != ZERO_REG:  # inlined _set_rename
-                    fl.saved_renames.append((rd, rename.get(rd, _READY)))
-                    rename[rd] = ("S", fl)
-            if decision is not None:
-                fl.vrmt_rollback = decision.vrmt_rollback
+                fl.cls = clss[seq]
+                fl.lat = lats[seq]
+                r = d1s[seq]
+                if r >= 0:
+                    fl.dep1 = rename[r]
+                r = d2s[seq]
+                if r >= 0:
+                    fl.dep2 = rename[r]
+                rd = rds[seq]
+                if rd > 0:
+                    fl.saved_rd = rd
+                    fl.saved_tok = rename[rd]
+                    rename[rd] = fl
             fl.static_ready = ready_at
-            fl.mispredicted = fi.mispredicted
+            if packed & 1:
+                fl.mispredicted = True
             rob.append(fl)
             waiting.append(fl)
         stats.fetched += dispatched
@@ -888,17 +1086,18 @@ class Machine:
         available.  Fresh vector instances do not stall: the vector FU
         reads the scalar register file once, when it is ready (§3.4).
 
-        Callers pre-check ``self._block_scalar_operand`` and membership in
+        Callers pre-check ``self._block_scalar`` and membership in
         ``VECTORIZABLE_ALU_OPS`` (dispatch hot path)."""
         mapping = self.engine.vrmt.table.peek(entry.pc)
         if mapping is None or mapping.scalar_value is None:
             return False
+        rename = self.rename
         for src in (entry.rs1, entry.rs2):
-            if src == NO_REG:
+            if src <= 0:  # absent source or the always-ready zero register
                 continue
-            ref = self._rename_ref(src)
-            if ref[0] == "S" and ref[1] is not None:
-                t = ref[1].done_at
+            tok = rename[src]
+            if tok is not None and type(tok) is not tuple:
+                t = tok.done_at
                 if t is None or t > now:
                     return True
         return False
@@ -912,9 +1111,9 @@ class Machine:
         descs: List[Tuple] = []
         src = entry.rs1
         if src != NO_REG:
-            ref = _READY if src == ZERO_REG else rename.get(src, _READY)
-            if ref[0] == "V":
-                descs.append(("V", ref[1], ref[2]))
+            tok = rename[src] if src != ZERO_REG else None
+            if type(tok) is tuple:
+                descs.append(("V", tok[0], tok[1]))
             else:
                 descs.append(("S", src, entry.s1))
         src = entry.rs2
@@ -923,18 +1122,12 @@ class Machine:
             if entry.op not in _NO_IMM_OPS:
                 descs.append(("imm", entry.imm))
         else:
-            ref = _READY if src == ZERO_REG else rename.get(src, _READY)
-            if ref[0] == "V":
-                descs.append(("V", ref[1], ref[2]))
+            tok = rename[src] if src != ZERO_REG else None
+            if type(tok) is tuple:
+                descs.append(("V", tok[0], tok[1]))
             else:
                 descs.append(("S", src, entry.s2))
         return descs
-
-    def _set_rename(self, fl: InFlight, logical: int, ref: Tuple) -> None:
-        if logical == NO_REG or logical == ZERO_REG:
-            return
-        fl.saved_renames.append((logical, self.rename.get(logical, _READY)))
-        self.rename[logical] = ref
 
     # ==================================================================
     # squash
@@ -945,14 +1138,22 @@ class Machine:
         restart fetch there.  Vector registers survive (§3.5); scalar-side
         bookkeeping (rename, VRMT offsets, U flags) rolls back."""
         engine = self.engine
-        while self.rob and self.rob[-1].seq >= from_seq:
-            fl = self.rob.pop()
+        rename = self.rename
+        rob = self.rob
+        while rob and rob[-1].seq >= from_seq:
+            fl = rob.pop()
             # A squashed entry may still sit on a surviving producer's
             # waiters list; the flag keeps it from being re-woken.
             fl.squashed = True
-            for logical, old in reversed(fl.saved_renames):
-                self.rename[logical] = old
-            if engine is not None:
+            # Youngest-first pop leaves the oldest flushed writer's saved
+            # token as the final rename state — the exact pre-flush map.
+            rd = fl.saved_rd
+            if rd >= 0:
+                rename[rd] = fl.saved_tok
+            if engine is not None and fl.__class__ is not InFlight:
+                # Plain InFlight records never touched the engine at decode
+                # (no rollback data, no U flag); only VecInFlight ones need
+                # the engine-side rewind.
                 engine.on_flush_entry(fl, now)
         self.lsq = [fl for fl in self.lsq if fl.seq < from_seq]
         self.waiting = [fl for fl in self.waiting if fl.seq < from_seq]
@@ -996,8 +1197,640 @@ class Machine:
         fetch_queue = self.fetch_queue
         room = self._fetch_queue_size - len(fetch_queue)
         if room > 0:
-            for fi in self.fetch_unit.fetch_cycle_group(now, room):
-                fetch_queue.append(fi)
+            self.fetch_unit.fetch_into(now, fetch_queue, room)
+
+    def _run_fast(self, total: int, safety: int) -> int:
+        """The unobserved main loop: :meth:`step`'s stage sequence with the
+        per-cycle stage bodies (commit, execute, dispatch) inlined and every
+        loop-invariant object hoisted to a local once.
+
+        One simulated cycle costs one pass through this loop body instead
+        of five method calls each re-hoisting the same attributes.  The
+        stage bodies below MUST stay in lock-step with :meth:`_commit`,
+        :meth:`_execute` and :meth:`_dispatch` — observed (metrics /
+        profiler) runs and single-stepping tests use those canonical
+        methods, and the step-vs-run parity test holds the two paths to
+        bit-identical results.  Structures a squash rebinds (``waiting``,
+        ``lsq``, ``mem_queue``, ``_parked``) are re-read from ``self`` at
+        each stage; everything hoisted here is only ever mutated in place.
+        """
+        ports = self.ports
+        engine = self.engine
+        rob = self.rob
+        stats = self.stats
+        fetch_queue = self.fetch_queue
+        rename = self.rename
+        entries = self._entries
+        soa = self._soa
+        kinds = soa.kind
+        clss = soa.cls
+        lats = soa.lat
+        valus = soa.valu
+        rds = soa.rd
+        d1s = soa.dep1
+        d2s = soa.dep2
+        addrs = soa.addr
+        pcs_soa = soa.pc
+        bkinds = soa.bkind
+        vec_map = self.committed_vec_map
+        cfi_windows = self.cfi_windows
+        is_backward = self._is_backward
+        data_access = self.hierarchy.data_access
+        commit_store = self.commit_memory.store
+        line_bytes = self._line_bytes
+        kernel = self._kernel
+        resolve_mispredict = self._resolve_mispredict
+        flush_from = self._flush_from
+        schedule_memory = self._schedule_memory
+        fetch_unit = self.fetch_unit
+        fetch_into = fetch_unit.fetch_into
+        blocked_on_scalar = self._blocked_on_scalar_operand
+        src_descs_of = self._src_descs
+        fu_free = self.fu_free
+        fu_busy = _FU_BUSY
+        ports_available = ports.available
+        ports_take = ports.take
+        ports_open_read = ports.open_read
+        ports_open_write = ports.open_write
+        ports_add_useful = ports.add_useful
+        width = self._width
+        commit_width = self._commit_width
+        rob_size = self._rob_size
+        lsq_size = self._lsq_size
+        fq_size = self._fetch_queue_size
+        mispredict_penalty = self._mispredict_penalty
+        max_store_commit = self._max_store_commit
+        block_scalar = self._block_scalar
+        wide_bus = self._wide_bus
+        if engine is not None:
+            vpcs = engine.vrmt.pcs
+            engine_tick = engine.tick
+            decode_load = engine.decode_load
+            decode_alu = engine.decode_alu
+            on_store_commit = engine.on_store_commit
+            on_validation_commit = engine.on_validation_commit
+            on_validation_failure = engine.on_validation_failure
+            set_element_freed = engine.set_element_freed
+            on_backward_branch_commit = engine.on_backward_branch_commit
+        else:
+            vpcs = None
+        committed_count = self.committed_count
+        now = 0
+        while committed_count < total:
+            # ---- begin cycle (inlined ports.begin_cycle) -----------------
+            ports.cycles += 1
+            ports._used_this_cycle = 0
+            if engine is not None and engine.pending_alu:
+                engine_tick(now)
+
+            # ---- commit (see _commit) ------------------------------------
+            if rob:
+                t = rob[0].done_at
+                if t is not None and t <= now:
+                    committed = 0
+                    stores_this_cycle = 0
+                    while rob and committed < commit_width:
+                        fl = rob[0]
+                        t = fl.done_at
+                        if t is None or t > now:
+                            break
+                        entry = fl.entry
+                        kind = fl.kind
+                        conflict = False
+                        if kind == K_STORE:
+                            if (
+                                engine is not None
+                                and stores_this_cycle >= max_store_commit
+                            ):
+                                break
+                            if ports_available() == 0:
+                                break
+                            ready = data_access(fl.addr, now, is_write=True)
+                            if ready is None:  # MSHR full
+                                break
+                            ports_take()
+                            ports_open_write()
+                            stats.write_accesses += 1
+                            commit_store(fl.addr, entry.value)
+                            stores_this_cycle += 1
+                            stats.committed_stores += 1
+                            if engine is not None:
+                                conflict = on_store_commit(fl.addr, now)
+                        rob.popleft()
+                        if kind == K_LOAD or kind == K_STORE:
+                            lsq = self.lsq
+                            if lsq[0] is fl:
+                                del lsq[0]
+                            else:
+                                lsq.remove(fl)
+                        committed += 1
+                        stats.committed += 1
+                        if cfi_windows:
+                            # ---- inlined _account_cfi (Fig 10) -----------
+                            cseq = fl.seq
+                            while cfi_windows and cseq > cfi_windows[0][0] + 100:
+                                cfi_windows.popleft()
+                            if cfi_windows:
+                                is_validation = (
+                                    kind >= K_VALIDATION and fl.counts_as_validation
+                                )
+                                for bseq, resolved in cfi_windows:
+                                    if bseq < cseq <= bseq + 100:
+                                        stats.cfi_window_instructions += 1
+                                        if (
+                                            is_validation
+                                            and fl.vreg is not None
+                                            and fl.velem >= 0
+                                        ):
+                                            stats.cfi_reused += 1
+                                            rt = fl.vreg.r_time[fl.velem]
+                                            if rt is not None and rt <= resolved:
+                                                stats.cfi_precomputed += 1
+                        if engine is not None:
+                            if kind >= K_VALIDATION:
+                                on_validation_commit(fl, now, ports)
+                            rd = entry.rd
+                            if rd > 0:
+                                old = vec_map[rd]
+                                if old is not None:
+                                    set_element_freed(old[0], old[1], old[2], now)
+                                if kind >= K_VALIDATION:
+                                    vec_map[rd] = (fl.vreg, fl.vreg.gen, fl.velem)
+                                else:
+                                    vec_map[rd] = None
+                            if is_backward[entry.pc] and bkinds[fl.seq]:
+                                on_backward_branch_commit(entry.pc, now)
+                        if conflict:
+                            flush_from(fl.seq + 1, now + 1 + mispredict_penalty, now)
+                            break
+                    committed_count += committed
+
+            # ---- execute / memory (see _execute) -------------------------
+            if self.waiting or self._parked:
+                issues_left = width
+                parked = self._parked
+                if parked and parked[0][0] <= now:
+                    waiting = self.waiting
+                    while parked and parked[0][0] <= now:
+                        waiting.append(heappop(parked)[2])
+                    waiting.sort(key=_SEQ_KEY)
+                still_waiting: List[InFlight] = []
+                keep = still_waiting.append
+                flush_seq: Optional[int] = None
+                rv: Optional[List] = None
+                rf: Optional[List] = None
+                ri: Optional[List] = None
+                for fl in self.waiting:
+                    dep = fl.dep1
+                    if dep is not None:
+                        if type(dep) is tuple:
+                            t = dep[0].r_time[dep[1]]
+                            if t is None:
+                                keep(fl)
+                                continue
+                            if t > now:
+                                heappush(parked, (t, fl.seq, fl))
+                                continue
+                        else:
+                            t = dep.done_at
+                            if t is None:
+                                w = dep.waiters
+                                if w is None:
+                                    dep.waiters = [fl]
+                                else:
+                                    w.append(fl)
+                                continue
+                            if t > now:
+                                heappush(parked, (t, fl.seq, fl))
+                                continue
+                        fl.dep1 = None
+                    dep = fl.dep2
+                    if dep is not None:
+                        if type(dep) is tuple:
+                            t = dep[0].r_time[dep[1]]
+                            if t is None:
+                                keep(fl)
+                                continue
+                            if t > now:
+                                heappush(parked, (t, fl.seq, fl))
+                                continue
+                        else:
+                            t = dep.done_at
+                            if t is None:
+                                w = dep.waiters
+                                if w is None:
+                                    dep.waiters = [fl]
+                                else:
+                                    w.append(fl)
+                                continue
+                            if t > now:
+                                heappush(parked, (t, fl.seq, fl))
+                                continue
+                        fl.dep2 = None
+                    if fl.static_ready > now:
+                        keep(fl)
+                        continue
+                    kind = fl.kind
+                    if kind == K_SCALAR:
+                        if fl.cls == _FU_NONE:
+                            if rf is None:
+                                rf = [fl]
+                            else:
+                                rf.append(fl)
+                        elif ri is None:
+                            ri = [fl]
+                        else:
+                            ri.append(fl)
+                    elif kind == K_LOAD:
+                        if ri is None:
+                            ri = [fl]
+                        else:
+                            ri.append(fl)
+                    elif kind == K_STORE:
+                        if rf is None:
+                            rf = [fl]
+                        else:
+                            rf.append(fl)
+                    elif rv is None:
+                        rv = [fl]
+                    else:
+                        rv.append(fl)
+
+                done1 = now + 1
+                if rv is not None:
+                    n = len(rv)
+                    if n == 1:
+                        fl = rv[0]
+                        p = fl.pred_addr
+                        mism = (
+                            (True,)
+                            if (p is not None and p != fl.entry.addr)
+                            else (False,)
+                        )
+                    else:
+                        mism = kernel.mismatch_flags(
+                            [f.pred_addr for f in rv], [f.entry.addr for f in rv]
+                        )
+                    for i, fl in enumerate(rv):
+                        vreg = fl.vreg
+                        if vreg.freed or vreg.defunct or mism[i]:
+                            on_validation_failure(fl, now)
+                            flush_seq = fl.seq
+                            break
+                        t = vreg.r_time[fl.velem]
+                        if t is not None:
+                            if t <= now:
+                                fl.done_at = done1
+                            else:
+                                heappush(parked, (t, fl.seq, fl))
+                        else:
+                            keep(fl)
+                if rf is not None:
+                    for fl in rf:
+                        if flush_seq is not None and fl.seq >= flush_seq:
+                            break
+                        fl.done_at = done1
+                        if fl.kind != K_STORE:
+                            if fl.waiters is not None:
+                                # ---- inlined _wake_waiters ---------------
+                                for c in fl.waiters:
+                                    if not c.squashed:
+                                        heappush(parked, (done1, c.seq, c))
+                                fl.waiters = None
+                            if fl.mispredicted and not fl.redirected:
+                                resolve_mispredict(fl, now)
+                if ri is not None:
+                    by_cls = {}
+                    for fl in ri:
+                        if flush_seq is not None and fl.seq >= flush_seq:
+                            break
+                        if fl.kind == K_LOAD:
+                            if issues_left <= 0:
+                                keep(fl)
+                                continue
+                            # ---- inlined _try_load (see its docstring) ---
+                            my_addr = fl.addr
+                            my_seq = fl.seq
+                            forwarding_store = None
+                            res = None
+                            for other in self.lsq:
+                                if other.seq >= my_seq:
+                                    break
+                                if other.kind != K_STORE:
+                                    continue
+                                dep = other.base_dep
+                                if dep is not None:
+                                    if type(dep) is tuple:
+                                        t = dep[0].r_time[dep[1]]
+                                        if t is None:
+                                            res = -1
+                                            break
+                                        if t + 1 > now:
+                                            res = t + 1
+                                            break
+                                    else:
+                                        t = dep.done_at
+                                        if t is None:
+                                            res = dep
+                                            break
+                                        if t + 1 > now:
+                                            res = t + 1
+                                            break
+                                if other.addr == my_addr:
+                                    forwarding_store = other
+                            if res is None:
+                                if forwarding_store is None:
+                                    self.mem_queue.append(fl)
+                                    issues_left -= 1
+                                    continue
+                                dep = forwarding_store.data_dep
+                                if dep is not None:
+                                    if type(dep) is tuple:
+                                        t = dep[0].r_time[dep[1]]
+                                        if t is None:
+                                            res = -1
+                                        elif t > now:
+                                            res = t
+                                    else:
+                                        t = dep.done_at
+                                        if t is None:
+                                            res = dep
+                                        elif t > now:
+                                            res = t
+                                if res is None:
+                                    fl.done_at = done1
+                                    if fl.waiters is not None:
+                                        for c in fl.waiters:
+                                            if not c.squashed:
+                                                heappush(parked, (done1, c.seq, c))
+                                        fl.waiters = None
+                                    stats.forwarded_loads += 1
+                                    issues_left -= 1
+                                    continue
+                            if type(res) is int:
+                                if res < 0:
+                                    keep(fl)
+                                else:
+                                    heappush(parked, (res, fl.seq, fl))
+                            else:
+                                w = res.waiters
+                                if w is None:
+                                    res.waiters = [fl]
+                                else:
+                                    w.append(fl)
+                            continue
+                        if issues_left <= 0:
+                            keep(fl)
+                            continue
+                        # ---- inlined _acquire_fu -------------------------
+                        cls = fl.cls
+                        pool = fu_free.get(cls)
+                        if pool is not None:
+                            for ui, free_at in enumerate(pool):
+                                if free_at <= now:
+                                    pool[ui] = now + fu_busy[cls]
+                                    break
+                            else:
+                                keep(fl)
+                                continue
+                        issues_left -= 1
+                        group = by_cls.get(cls)
+                        if group is None:
+                            by_cls[cls] = [fl]
+                        else:
+                            group.append(fl)
+                    for cls, group in by_cls.items():
+                        done = now + group[0].lat
+                        for fl in group:
+                            fl.done_at = done
+                            if fl.waiters is not None:
+                                for c in fl.waiters:
+                                    if not c.squashed:
+                                        heappush(parked, (done, c.seq, c))
+                                fl.waiters = None
+                            if fl.mispredicted and not fl.redirected:
+                                resolve_mispredict(fl, now)
+
+                if flush_seq is not None and parked:
+                    still_waiting.extend(e[2] for e in parked)
+                    del parked[:]
+                if len(still_waiting) > 1:
+                    still_waiting.sort(key=_SEQ_KEY)
+                self.waiting = still_waiting
+                if flush_seq is not None:
+                    flush_from(flush_seq, now + 1 + mispredict_penalty, now)
+
+            # ---- memory (see _schedule_memory; runs after execute whether
+            # or not execute had work this cycle — the if/elif pair in
+            # step() reduces to exactly this because _execute ends with the
+            # same check-and-call) --------------------------------------
+            if self.mem_queue or (engine is not None and engine.pending_fetches):
+                if wide_bus:
+                    queue = self.mem_queue
+                    if (
+                        len(queue) == 1
+                        and (engine is None or not engine.pending_fetches)
+                        and ports_available() != 0
+                    ):
+                        # One pending scalar load and no vector fetches to
+                        # group with it: serve its line directly, skipping
+                        # the group-building call (the common IM-mode case;
+                        # take_fetches on an empty queue has no effect, so
+                        # skipping the call is exact in V mode too).
+                        fl = queue[0]
+                        addr = fl.addr
+                        ready = data_access(addr - (addr % line_bytes), now)
+                        if ready is not None:
+                            ports_take()
+                            txn = ports_open_read()
+                            ports_add_useful(txn, 1)
+                            stats.read_accesses += 1
+                            stats.scalar_loads_to_memory += 1
+                            fl.done_at = ready
+                            if fl.waiters is not None:
+                                parked = self._parked
+                                for c in fl.waiters:
+                                    if not c.squashed:
+                                        heappush(parked, (ready, c.seq, c))
+                                fl.waiters = None
+                            self.mem_queue = []
+                    else:
+                        schedule_memory(now)
+                elif self.mem_queue and ports_available() != 0:
+                    # ---- inlined scalar-bus branch -----------------------
+                    queue = self.mem_queue
+                    nq = len(queue)
+                    served = 0
+                    while served < nq:
+                        fl = queue[served]
+                        if ports_available() == 0:
+                            break
+                        ready = data_access(fl.addr, now)
+                        if ready is None:  # MSHR full; retry next cycle
+                            break
+                        ports_take()
+                        txn = ports_open_read()
+                        ports_add_useful(txn, 1)
+                        stats.read_accesses += 1
+                        stats.scalar_loads_to_memory += 1
+                        fl.done_at = ready
+                        if fl.waiters is not None:
+                            parked = self._parked
+                            for c in fl.waiters:
+                                if not c.squashed:
+                                    heappush(parked, (ready, c.seq, c))
+                            fl.waiters = None
+                        served += 1
+                    if served:
+                        self.mem_queue = queue[served:]
+
+            # ---- dispatch (see _dispatch) --------------------------------
+            if fetch_queue:
+                dispatched = 0
+                lsq = self.lsq
+                waiting = self.waiting
+                max_seq = self._max_dispatched_seq
+                ready_at = now + 1
+                rob_room = rob_size - len(rob)
+                while fetch_queue and dispatched < width:
+                    if rob_room <= 0:
+                        break
+                    packed = fetch_queue[0]
+                    seq = packed >> 1
+                    kind = kinds[seq]
+                    if kind != K_SCALAR and len(lsq) >= lsq_size:
+                        break
+                    entry = entries[seq]
+                    is_valu = valus[seq]
+                    vec_probe = False
+                    if is_valu and vpcs is not None:
+                        if pcs_soa[seq] in vpcs:
+                            vec_probe = True
+                        else:
+                            r = d1s[seq]
+                            if r >= 0 and type(rename[r]) is tuple:
+                                vec_probe = True
+                            else:
+                                r = d2s[seq]
+                                if r >= 0 and type(rename[r]) is tuple:
+                                    vec_probe = True
+                    if (
+                        block_scalar
+                        and vec_probe
+                        and blocked_on_scalar(entry, now)
+                    ):
+                        stats.scalar_operand_stall_cycles += 1
+                        break
+                    fetch_queue.popleft()
+                    dispatched += 1
+                    rob_room -= 1
+
+                    first_time = seq > max_seq
+                    if first_time:
+                        max_seq = seq
+                        self._max_dispatched_seq = seq
+
+                    decision = None
+                    if engine is not None:
+                        if kind == K_LOAD:
+                            decision = decode_load(entry, now, first_time)
+                        elif vec_probe and entry.rd != NO_REG:
+                            decision = decode_alu(entry, src_descs_of(entry), now)
+
+                    if decision is not None and decision.kind is not DecodeKind.SCALAR:
+                        fl = VecInFlight(
+                            seq,
+                            entry,
+                            K_VALIDATION
+                            if decision.kind is DecodeKind.VALIDATION
+                            else K_TRIGGER,
+                            addrs[seq],
+                        )
+                        fl.vreg = decision.reg
+                        fl.velem = decision.elem
+                        fl.pred_addr = decision.pred_addr
+                        fl.counts_as_validation = decision.counts_as_validation
+                        fl.vrmt_rollback = decision.vrmt_rollback
+                        fl.static_ready = ready_at
+                        if kind == K_LOAD:
+                            r = d1s[seq]
+                            if r >= 0:
+                                fl.dep1 = rename[r]
+                        rd = rds[seq]
+                        if rd > 0:
+                            fl.saved_rd = rd
+                            fl.saved_tok = rename[rd]
+                            rename[rd] = (decision.reg, decision.elem)
+                        rob.append(fl)
+                        waiting.append(fl)
+                        continue
+
+                    if decision is not None and decision.vrmt_rollback is not None:
+                        fl = VecInFlight(seq, entry, kind, addrs[seq])
+                        fl.vrmt_rollback = decision.vrmt_rollback
+                    else:
+                        fl = InFlight(seq, entry, kind, addrs[seq])
+                    if kind == K_LOAD:
+                        r = d1s[seq]
+                        dep = rename[r] if r >= 0 else None
+                        fl.base_dep = dep
+                        fl.dep1 = dep
+                        rd = rds[seq]
+                        if rd > 0:
+                            fl.saved_rd = rd
+                            fl.saved_tok = rename[rd]
+                            rename[rd] = fl
+                        lsq.append(fl)
+                    elif kind == K_STORE:
+                        r = d1s[seq]
+                        base = rename[r] if r >= 0 else None
+                        r = d2s[seq]
+                        data = rename[r] if r >= 0 else None
+                        fl.base_dep = base
+                        fl.data_dep = data
+                        fl.dep1 = base
+                        fl.dep2 = data
+                        lsq.append(fl)
+                    else:
+                        fl.cls = clss[seq]
+                        fl.lat = lats[seq]
+                        r = d1s[seq]
+                        if r >= 0:
+                            fl.dep1 = rename[r]
+                        r = d2s[seq]
+                        if r >= 0:
+                            fl.dep2 = rename[r]
+                        rd = rds[seq]
+                        if rd > 0:
+                            fl.saved_rd = rd
+                            fl.saved_tok = rename[rd]
+                            rename[rd] = fl
+                    fl.static_ready = ready_at
+                    if packed & 1:
+                        fl.mispredicted = True
+                    rob.append(fl)
+                    waiting.append(fl)
+                stats.fetched += dispatched
+
+            # ---- fetch ---------------------------------------------------
+            # fetch_into's own early-outs, checked here to skip the call
+            # during mispredict bubbles and after the trace runs dry.
+            if (
+                fq_size > len(fetch_queue)
+                and not fetch_unit._blocked
+                and now >= fetch_unit._stalled_until
+            ):
+                fetch_into(now, fetch_queue, fq_size - len(fetch_queue))
+
+            now += 1
+            if now > safety:
+                self.committed_count = committed_count
+                raise RuntimeError(
+                    f"simulation wedged: {committed_count}/{total} "
+                    f"committed after {now} cycles"
+                )
+        self.committed_count = committed_count
+        return now
 
     def run(self) -> SimStats:
         """Simulate until the whole trace has committed; returns stats."""
@@ -1020,16 +1853,15 @@ class Machine:
         try:
             if observed:
                 now = self._run_observed(total, safety)
+            elif not _STAGE_METHODS.isdisjoint(self.__dict__):
+                # A stage method is overridden on the *instance* (test
+                # spies, ad-hoc instrumentation).  The fused loop inlines
+                # the class's stage bodies and would silently bypass the
+                # override, so patched machines take the canonical
+                # step() loop — bit-identical by the loop-parity test.
+                now = self._run_stepped(total, safety)
             else:
-                step = self.step
-                while self.committed_count < total:
-                    step(now)
-                    now += 1
-                    if now > safety:
-                        raise RuntimeError(
-                            f"simulation wedged: {self.committed_count}/{total} "
-                            f"committed after {now} cycles"
-                        )
+                now = self._run_fast(total, safety)
         finally:
             if gc_was_enabled:
                 gc.enable()
@@ -1042,6 +1874,24 @@ class Machine:
             self._record_metrics(obs.metrics)
         return stats
 
+    def _run_stepped(self, total: int, safety: int) -> int:
+        """Canonical per-stage loop, one :meth:`step` call per cycle.
+
+        Used when a stage method has been overridden on the instance so
+        the override is actually consulted every cycle.
+        """
+        step = self.step
+        now = 0
+        while self.committed_count < total:
+            step(now)
+            now += 1
+            if now > safety:
+                raise RuntimeError(
+                    f"simulation wedged: {self.committed_count}/{total} "
+                    f"committed after {now} cycles"
+                )
+        return now
+
     def _run_observed(self, total: int, safety: int) -> int:
         """The run loop for metrics-sampling and/or stage-profiled runs.
 
@@ -1053,6 +1903,10 @@ class Machine:
         profiler = obs.profiler
         metrics = obs.metrics
         series = metrics.series("ports.occupancy") if metrics is not None else None
+        if metrics is not None:
+            # Arm the execute-stage batch-size histogram (one observation
+            # per non-empty ready group per cycle).
+            self._batch_hist = metrics.histogram("kernel.batch_size").observe
         ports = self.ports
         n_ports = ports.n_ports
         sample_mask = 0x0FFF  # one occupancy sample every 4096 cycles
@@ -1081,11 +1935,13 @@ class Machine:
 
         The stage guards MUST stay in lock-step with :meth:`step` — the
         profiled run stays bit-identical because the hooks only read the
-        clock.  Memory scheduling reached from inside the execute scan is
-        attributed to ``execute``; only the standalone port-scheduling
-        call shows up under ``memory``.
+        clock.  Port scheduling reached from inside the execute stage is
+        attributed to ``memory`` by :meth:`_execute` itself (via
+        ``self._profiler``) and subtracted from this frame's ``execute``
+        share, so the two stages always partition the real wall time.
         """
         prof = self.observer.profiler
+        self._profiler = prof
         clock = observe_profile.perf_counter
         ports = self.ports
         ports.cycles += 1
@@ -1103,9 +1959,10 @@ class Machine:
                 self._commit(now)
                 prof.account("commit", clock() - t0)
         if self.waiting or self._parked:
+            self._mem_seconds = 0.0
             t0 = clock()
             self._execute(now)
-            prof.account("execute", clock() - t0)
+            prof.account("execute", clock() - t0 - self._mem_seconds)
         elif self.mem_queue or (engine is not None and engine.pending_fetches):
             t0 = clock()
             self._schedule_memory(now)
@@ -1118,9 +1975,7 @@ class Machine:
         room = self._fetch_queue_size - len(fetch_queue)
         if room > 0:
             t0 = clock()
-            fetched = self.fetch_unit.fetch_cycle_group(now, room)
-            for fi in fetched:
-                fetch_queue.append(fi)
+            fetched = self.fetch_unit.fetch_into(now, fetch_queue, room)
             prof.account("fetch", clock() - t0, active=bool(fetched))
         prof.tick()
 
