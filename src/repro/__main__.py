@@ -335,6 +335,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
         sections = (
             ("stats", "stats"),
             ("traces", "trace"),
+            ("soa", "soa"),
             ("checkpoints", "checkpoint"),
             ("corpus", "corpus"),
         )
@@ -560,7 +561,7 @@ def main(argv=None) -> int:
     p.add_argument("action", choices=("info", "clear"))
     p.add_argument(
         "--section",
-        choices=("stats", "trace", "checkpoint", "corpus"),
+        choices=("stats", "trace", "soa", "checkpoint", "corpus"),
         default=None,
         help="clear only one cache section (default: all)",
     )

@@ -35,11 +35,12 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple, Union
 
 from typing import TYPE_CHECKING
 
+from ..functional.semantics import apply_alu
 from ..isa.opcodes import FU_LATENCY, Opcode, fu_class_of
 from ..observe.events import (
     SQUASH_COHERENCE,
@@ -64,6 +65,11 @@ Number = Union[int, float]
 
 #: sentinel distinguishing "no scalar source seen" from a captured None.
 _NO_SCALAR = object()
+
+#: deferred-ALU-batch size cap: a flush is forced once this many element
+#: values are pending, bounding the buffers on runs whose values are
+#: never observed (invariant checking off, no dependent reads).
+_DEFER_WATERMARK = 4096
 
 #: FAULT-INJECTION HOOK — test use only.  True disables the §3.6 store
 #: range coherence check entirely, re-creating the classic silent-
@@ -117,7 +123,6 @@ _SCALAR_DECISION = Decision(DecodeKind.SCALAR)
 
 
 
-@dataclass
 class VectorAluInstance:
     """A pending vector arithmetic operation (element-wise, pipelined).
 
@@ -129,31 +134,54 @@ class VectorAluInstance:
     available (sources may themselves trickle in when element fetching is
     throttled), flowing through one pipelined vector FU at one element per
     cycle.
+
+    Instances are recycled through the engine's free pool (``reset`` is
+    the whole constructor), so steady-state V-mode runs allocate no new
+    records on this path.
     """
 
-    dest: VectorRegister
-    op: Opcode
-    srcs: List[Tuple]
-    start: int
-    alloc_cycle: int
-    #: next destination element awaiting scheduling.
-    next_elem: int = -1
-    #: cycle the assigned FU opened up for this instance (set lazily).
-    pipe_start: Optional[int] = None
-    #: issue slot of the previously scheduled element (pipelining).
-    last_issue: int = -1
-    #: index of the vector FU this instance occupies (set lazily).
-    fu_unit: Optional[int] = None
-    #: FU class / latency for ``op``, fixed per instance (set once here so
-    #: the per-cycle scheduler skips the per-call table lookups).
-    fu_class: object = None
-    latency: int = 0
+    __slots__ = (
+        "dest",
+        "op",
+        "srcs",
+        "start",
+        "alloc_cycle",
+        "next_elem",
+        "pipe_start",
+        "last_issue",
+        "fu_unit",
+        "fu_class",
+        "latency",
+    )
 
-    def __post_init__(self) -> None:
-        if self.next_elem < 0:
-            self.next_elem = self.start
-        self.fu_class = fu_class_of(self.op)
+    def __init__(
+        self,
+        dest: VectorRegister,
+        op: Opcode,
+        srcs: List[Tuple],
+        start: int,
+        alloc_cycle: int,
+    ) -> None:
+        self.dest = dest
+        self.op = op
+        self.srcs = srcs
+        self.start = start
+        self.alloc_cycle = alloc_cycle
+        #: next destination element awaiting scheduling.
+        self.next_elem = start
+        #: cycle the assigned FU opened up for this instance (set lazily).
+        self.pipe_start: Optional[int] = None
+        #: issue slot of the previously scheduled element (pipelining).
+        self.last_issue = -1
+        #: index of the vector FU this instance occupies (set lazily).
+        self.fu_unit: Optional[int] = None
+        #: FU class / latency for ``op``, fixed per instance (set once here
+        #: so the per-cycle scheduler skips the per-call table lookups).
+        self.fu_class = fu_class_of(op)
         self.latency = FU_LATENCY[self.fu_class]
+
+    #: re-initialize a pooled record in place (same signature as __init__).
+    reset = __init__
 
     @property
     def done(self) -> bool:
@@ -212,10 +240,65 @@ class VectorizationEngine:
         self._check_invariants = config.check_invariants
         #: process-wide batch-evaluation backend (python or numpy).
         self._kernel = get_kernel()
+        #: single scratch Decision mutated in place by the decode paths:
+        #: dispatch copies every field out before the next decode call, so
+        #: one record serves the whole run (allocation-churn removal).
+        self._decision = Decision(DecodeKind.SCALAR)
+        #: recycled VectorAluInstance records (see tick()).
+        self._alu_pool: List[VectorAluInstance] = []
+        #: deferred cross-cycle ALU value batches, op -> (a_ops, b_ops,
+        #: [(dest_reg, elem), ...]).  Issue slots, r_time and FU occupancy
+        #: are still computed eagerly (they are timing-observable); only
+        #: the element *values* accumulate here so one kernel call
+        #: evaluates many cycles' worth of elements.  Flushed when a
+        #: scheduled element depends on a deferred value, when a committing
+        #: validation observes one (invariant check), or at the watermark.
+        self._defer: dict = {}
+        #: (dest_reg, elem) -> (op, buffer position): lets a single
+        #: observed/depended-on element be materialized exactly (shared
+        #: apply_alu) without draining the whole batch.
+        self._defer_pos: dict = {}
+        self._defer_n = 0
+        #: invariant checks whose element value is still deferred:
+        #: (reg, elem, trace_entry).  Verified inside the batch flush so
+        #: observation does not shrink the batches; a wrong value raises
+        #: the same MisspeculationError, just at flush instead of commit
+        #: (both inside run(), so callers see no difference).
+        self._defer_checks: List[Tuple] = []
+        self._engine_batch_hist = (
+            observer.metrics.histogram("engine.batch_size").observe
+            if observer is not None and observer.metrics is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Decode-time decisions
     # ------------------------------------------------------------------
+
+    def _decide(
+        self,
+        kind: DecodeKind,
+        reg: Optional[VectorRegister] = None,
+        elem: int = -1,
+        pred_addr: Optional[int] = None,
+        counts_as_validation: bool = False,
+        vrmt_rollback: Optional[Tuple[int, Optional[VRMTEntry], int]] = None,
+    ) -> Decision:
+        """Fill and return the engine's scratch :class:`Decision`.
+
+        Valid only until the next decode call — the dispatch stage copies
+        the fields into its in-flight record immediately.  Paths that
+        never mutate the result may still return the shared
+        ``_SCALAR_DECISION`` instead.
+        """
+        d = self._decision
+        d.kind = kind
+        d.reg = reg
+        d.elem = elem
+        d.pred_addr = pred_addr
+        d.counts_as_validation = counts_as_validation
+        d.vrmt_rollback = vrmt_rollback
+        return d
 
     def decode_load(self, entry, now: int, first_time: bool) -> Decision:
         """Classify a dynamic load: scalar, validation, or vector trigger.
@@ -266,8 +349,8 @@ class VectorizationEngine:
         elem = mapping.offset
         mapping.offset += 1
         reg = mapping.reg
-        reg.u_flag[elem] = True
-        return Decision(
+        reg.u_bits |= 1 << elem
+        return self._decide(
             DecodeKind.VALIDATION,
             reg=reg,
             elem=elem,
@@ -293,14 +376,15 @@ class VectorizationEngine:
         if reg is None:
             self.stats.vreg_alloc_failures += 1
             self._sweep_frees(now)
-            return Decision(DecodeKind.SCALAR)
+            # Scratch, not _SCALAR_DECISION: the caller may attach rollback.
+            return self._decide(DecodeKind.SCALAR)
         reg.fp_load = fp
         reg.set_load_addresses(base_addr, stride)
         self.vrf.index_load(reg)
         ahead = self._fetch_ahead
         self._enqueue_load_fetches(reg, self.vl - 1 if ahead <= 0 else ahead)
         self.vrmt.insert(pc, VRMTEntry(reg, offset=1))
-        reg.u_flag[0] = True
+        reg.u_bits |= 1
         self.stats.vector_instances += 1
         self.stats.vector_load_instances += 1
         self.stats.registers_allocated += 1
@@ -311,7 +395,7 @@ class VectorizationEngine:
                 stride=stride, base=base_addr, chained=chained,
             )
             bus.emit(now, VRMT_MAP, pc=pc, slot=reg.slot, gen=reg.gen, load=True)
-        return Decision(
+        return self._decide(
             DecodeKind.TRIGGER,
             reg=reg,
             elem=0,
@@ -364,8 +448,8 @@ class VectorizationEngine:
                     elem = mapping.offset
                     mapping.offset += 1
                     reg = mapping.reg
-                    reg.u_flag[elem] = True
-                    return Decision(
+                    reg.u_bits |= 1 << elem
+                    return self._decide(
                         DecodeKind.VALIDATION,
                         reg=reg,
                         elem=elem,
@@ -383,7 +467,7 @@ class VectorizationEngine:
             decision = (
                 self._new_alu_instance(entry, src_descs, scalar_value, now)
                 if any_vector
-                else Decision(DecodeKind.SCALAR)
+                else self._decide(DecodeKind.SCALAR)
             )
             decision.vrmt_rollback = rollback
             return decision
@@ -454,7 +538,7 @@ class VectorizationEngine:
     ) -> Decision:
         pc = entry.pc
         if not any(d[0] == "V" for d in src_descs):
-            return Decision(DecodeKind.SCALAR)
+            return self._decide(DecodeKind.SCALAR)
         prev_state = self.vrmt.table.peek(pc)
         rollback = (pc, prev_state, prev_state.offset if prev_state is not None else 0)
         start = max(d[2] for d in src_descs if d[0] == "V")
@@ -462,7 +546,7 @@ class VectorizationEngine:
         if reg is None:
             self.stats.vreg_alloc_failures += 1
             self._sweep_frees(now)
-            return Decision(DecodeKind.SCALAR, vrmt_rollback=rollback)
+            return self._decide(DecodeKind.SCALAR, vrmt_rollback=rollback)
         srcs: List[Tuple] = []
         recorded_desc = []
         for d in src_descs:
@@ -475,7 +559,12 @@ class VectorizationEngine:
             else:  # immediate
                 srcs.append(("S", d[1]))
                 recorded_desc.append(("imm",))
-        instance = VectorAluInstance(reg, entry.op, srcs, start, now)
+        pool = self._alu_pool
+        if pool:
+            instance = pool.pop()
+            instance.reset(reg, entry.op, srcs, start, now)
+        else:
+            instance = VectorAluInstance(reg, entry.op, srcs, start, now)
         self.pending_alu.append(instance)
         self.vrmt.insert(
             pc,
@@ -486,7 +575,7 @@ class VectorizationEngine:
                 scalar_value=scalar_value,
             ),
         )
-        reg.u_flag[start] = True
+        reg.u_bits |= 1 << start
         self.stats.vector_instances += 1
         self.stats.vector_alu_instances += 1
         self.stats.registers_allocated += 1
@@ -497,7 +586,7 @@ class VectorizationEngine:
                 now, VRMT_MAP, pc=pc,
                 slot=reg.slot, gen=reg.gen, load=False, start=start,
             )
-        return Decision(
+        return self._decide(
             DecodeKind.TRIGGER,
             reg=reg,
             elem=start,
@@ -514,10 +603,12 @@ class VectorizationEngine:
         if not self.pending_alu:
             return
         cancel_dead = self._cancel_dead
+        pool = self._alu_pool
         remaining = []
         for inst in self.pending_alu:
             dest = inst.dest
             if dest.freed:
+                pool.append(inst)
                 continue
             if cancel_dead and not dest.defunct and self._register_is_dead(dest):
                 # Future-work extension: skip computing elements nobody can
@@ -528,12 +619,14 @@ class VectorizationEngine:
                         dest.r_time[inst.next_elem] = now
                         self.stats.fetches_cancelled += 1
                     inst.next_elem += 1
+                pool.append(inst)
                 continue
             # Probe the first pending element's sources before building any
             # batch arrays: the common steady state is "still waiting on
             # the producer's next element", which needs no list work.
             first = inst.next_elem
             if first >= dest.length:
+                pool.append(inst)
                 continue
             base = first - inst.start
             blocked = False
@@ -549,7 +642,9 @@ class VectorizationEngine:
                 remaining.append(inst)
                 continue
             self._schedule_alu_elements(inst, now)
-            if not inst.done:
+            if inst.done:
+                pool.append(inst)
+            else:
                 remaining.append(inst)
         self.pending_alu = remaining
 
@@ -595,6 +690,11 @@ class VectorizationEngine:
                             break
                     elif rt > src_ready:
                         src_ready = rt
+                    if (reg.pend_bits >> idx) & 1:
+                        # Dependence: this operand's value is still in the
+                        # deferred batch — materialize just that element
+                        # (the batch keeps accumulating).
+                        self._materialize_element(reg, idx)
                     operands.append(reg.values[idx])
                 else:
                     operands.append(desc[1])
@@ -613,17 +713,13 @@ class VectorizationEngine:
             inst.pipe_start = max(now, pool[unit], inst.alloc_cycle + 1)
             inst.last_issue = inst.pipe_start - 1
             inst.fu_unit = unit
-        kernel = self._kernel
         floor = inst.last_issue + 1
         if inst.pipe_start > floor:
             floor = inst.pipe_start
-        issues = kernel.issue_slots(readys, floor)
-        values = kernel.alu_values(inst.op, a_ops, b_ops)
-        dest_values = dest.values
+        issues = self._kernel.issue_slots(readys, floor)
         dest_r_time = dest.r_time
         latency = inst.latency
         for i in range(n):
-            dest_values[first + i] = values[i]
             dest_r_time[first + i] = issues[i] + latency
         last = issues[-1]
         inst.last_issue = last
@@ -631,6 +727,81 @@ class VectorizationEngine:
         if pool[unit] < last + 1:
             pool[unit] = last + 1
         inst.next_elem = first + n
+        # Timing is fully resolved above; the element *values* join the
+        # cross-cycle per-opcode batch instead of being evaluated now, so
+        # one kernel call covers many instances' elements (the numpy
+        # backend then clears its minimum batch size on V workloads).
+        defer = self._defer
+        op = inst.op
+        buf = defer.get(op)
+        if buf is None:
+            buf = defer[op] = ([], [], [])
+        a_buf = buf[0]
+        pos = len(a_buf)
+        a_buf.extend(a_ops)
+        buf[1].extend(b_ops)
+        dests = buf[2]
+        defer_pos = self._defer_pos
+        for i in range(n):
+            dests.append((dest, first + i))
+            defer_pos[(dest, first + i)] = (op, pos + i)
+        dest.pend_bits |= ((1 << n) - 1) << first
+        self._defer_n += n
+        if self._defer_n >= _DEFER_WATERMARK:
+            self._flush_deferred()
+
+    def _flush_deferred(self) -> None:
+        """Materialize every deferred ALU value batch.
+
+        Called on dependence (a newly scheduling element reads a deferred
+        value), on observation (a committing validation's invariant check
+        reads one), at the watermark, and at finalize.  Writing into a
+        register that went defunct or was freed while its values were
+        deferred is harmless — those values are never read (defunct
+        registers fail validation before the invariant check, freed ones
+        are frozen garbage)."""
+        defer = self._defer
+        if not defer:
+            return
+        kernel = self._kernel
+        hist = self._engine_batch_hist
+        for op, (a_ops, b_ops, dests) in defer.items():
+            if hist is not None:
+                hist(len(a_ops))
+            values = kernel.alu_values(op, a_ops, b_ops)
+            for (reg, idx), value in zip(dests, values):
+                # Elements materialized early are simply rewritten with
+                # the same value (same operands, deterministic op).
+                reg.values[idx] = value
+                reg.pend_bits &= ~(1 << idx)
+        defer.clear()
+        self._defer_pos.clear()
+        self._defer_n = 0
+        checks = self._defer_checks
+        if checks:
+            for reg, k, entry in checks:
+                expected = entry.value
+                got = reg.values[k]
+                if got != expected and not (
+                    isinstance(got, float)
+                    and isinstance(expected, float)
+                    and got != got
+                    and expected != expected
+                ):
+                    raise MisspeculationError(
+                        f"validation committed wrong value at pc {entry.pc} "
+                        f"seq {entry.seq} elem {k}: vector={got!r} "
+                        f"architectural={expected!r}"
+                    )
+            checks.clear()
+
+    def _materialize_element(self, reg: VectorRegister, k: int) -> None:
+        """Evaluate one deferred element in place (exact: the same shared
+        apply_alu the python kernel uses) without draining the batch."""
+        op, j = self._defer_pos[(reg, k)]
+        buf = self._defer[op]
+        reg.values[k] = apply_alu(op, buf[0][j], buf[1][j])
+        reg.pend_bits &= ~(1 << k)
 
     def take_fetches(self, limit: int) -> List[Tuple[VectorRegister, int, int]]:
         """Pop up to ``limit`` live element fetches for the memory stage.
@@ -676,7 +847,7 @@ class VectorizationEngine:
         has terminated, no validation is in flight, and the VRMT no longer
         maps its PC to it (so later instances of the instruction will build
         a fresh instance rather than consume these elements)."""
-        if reg.mrbb == self.gmrbb or any(reg.u_flag):
+        if reg.mrbb == self.gmrbb or reg.u_bits:
             return False
         mapping = self.vrmt.table.peek(reg.pc)
         return mapping is None or mapping.reg is not reg
@@ -744,21 +915,28 @@ class VectorizationEngine:
         reg: VectorRegister = fl.vreg
         k = fl.velem
         if self._check_invariants:
-            expected = fl.entry.value
-            got = reg.values[k]
-            if got != expected and not (
-                isinstance(got, float)
-                and isinstance(expected, float)
-                and got != got
-                and expected != expected
-            ):  # NaN compares unequal to itself but is the same datum
-                raise MisspeculationError(
-                    f"validation committed wrong value at pc {fl.entry.pc} "
-                    f"seq {fl.entry.seq} elem {k}: vector={got!r} "
-                    f"architectural={expected!r}"
-                )
-        reg.v_flag[k] = True
-        reg.u_flag[k] = False
+            if (reg.pend_bits >> k) & 1:
+                # The element's value still sits in the deferred ALU batch;
+                # queue the check to run inside the flush (keeping the
+                # batch wide) instead of materializing the value now.
+                self._defer_checks.append((reg, k, fl.entry))
+            else:
+                expected = fl.entry.value
+                got = reg.values[k]
+                if got != expected and not (
+                    isinstance(got, float)
+                    and isinstance(expected, float)
+                    and got != got
+                    and expected != expected
+                ):  # NaN compares unequal to itself but is the same datum
+                    raise MisspeculationError(
+                        f"validation committed wrong value at pc {fl.entry.pc} "
+                        f"seq {fl.entry.seq} elem {k}: vector={got!r} "
+                        f"architectural={expected!r}"
+                    )
+        bit = 1 << k
+        reg.v_bits |= bit
+        reg.u_bits &= ~bit
         if reg.is_load:
             txn = reg.txn_ids[k]
             if txn is not None:
@@ -775,7 +953,7 @@ class VectorizationEngine:
                     now, VALIDATE_PASS, pc=fl.entry.pc, seq=fl.entry.seq,
                     elem=k, load=reg.is_load,
                 )
-        if not any(reg.u_flag):
+        if not reg.u_bits:
             self._maybe_free(reg, now)
 
     def on_flush_entry(self, fl, now: int) -> None:
@@ -795,7 +973,7 @@ class VectorizationEngine:
                 self.vrmt.reinstall(pc, prev)
         reg: Optional[VectorRegister] = fl.vreg
         if reg is not None and not reg.freed and fl.velem >= 0:
-            reg.u_flag[fl.velem] = False
+            reg.u_bits &= ~(1 << fl.velem)
             self._maybe_free(reg, now)
 
     # ------------------------------------------------------------------
@@ -828,9 +1006,9 @@ class VectorizationEngine:
                 # this store — the store must still force the flush.  (The
                 # mapping drop / TL punishment already happened when the
                 # register went defunct.)
-                if not any(
-                    (not reg.v_flag[k]) and reg.u_flag[k]
-                    and reg.pred_addrs[k] == addr
+                live_u = reg.u_bits & ~reg.v_bits
+                if not live_u or not any(
+                    (live_u >> k) & 1 and reg.pred_addrs[k] == addr
                     for k in range(reg.start_offset, reg.length)
                 ):
                     continue
@@ -843,8 +1021,9 @@ class VectorizationEngine:
             # the old value was the correct one.  (In-place stream updates —
             # y[i] = f(y[i]) — rely on this: the store to y[i] always lands
             # on the just-validated element, never on the speculative tail.)
+            spec = reg.full_mask & ~reg.v_bits
             if not any(
-                (not reg.v_flag[k]) and reg.pred_addrs[k] == addr
+                (spec >> k) & 1 and reg.pred_addrs[k] == addr
                 for k in range(reg.start_offset, reg.length)
             ):
                 continue
@@ -886,10 +1065,10 @@ class VectorizationEngine:
         element's F flag rises (machine calls this from commit)."""
         if reg.freed or reg.gen != gen:
             return
-        reg.f_flag[elem] = True
+        reg.f_bits |= 1 << elem
         # _maybe_free's first early-out, checked here to skip the call on
         # the overwhelmingly common path (a validation still in flight).
-        if not any(reg.u_flag):
+        if not reg.u_bits:
             self._maybe_free(reg, now)
 
     def _maybe_free(self, reg: VectorRegister, now: int) -> None:
@@ -897,7 +1076,7 @@ class VectorizationEngine:
         # side event and the overwhelmingly common outcome is "not yet",
         # so the §3.3 release rules are evaluated with plain loops here
         # (no generator frames) and early returns.
-        if reg.freed or any(reg.u_flag):
+        if reg.freed or reg.u_bits:
             return
         if not reg.defunct:
             r_time = reg.r_time
@@ -909,15 +1088,13 @@ class VectorizationEngine:
                 for t in r_time:
                     if t is None or t > now:
                         return
-            f_flag = reg.f_flag
-            if not all(f_flag):
+            if reg.f_bits != reg.full_mask:
                 # Rule 1 failed; rule 2 needs a terminated loop and every
                 # validated element freed.
                 if reg.mrbb == self.gmrbb:
                     return
-                for v, f in zip(reg.v_flag, f_flag):
-                    if v and not f:
-                        return
+                if reg.v_bits & ~reg.f_bits:
+                    return
         used, unused, not_computed = reg.element_fates(now)
         self.stats.elements_computed_used += used
         self.stats.elements_computed_unused += unused
@@ -946,6 +1123,9 @@ class VectorizationEngine:
 
     def finalize(self, now: int) -> None:
         """End of run: account element fates of still-live registers."""
+        # Drain the deferred value batches so the engine.batch_size
+        # histogram observes the tail groups too.
+        self._flush_deferred()
         for reg in self.vrf.live_registers():
             used, unused, not_computed = reg.element_fates(now)
             self.stats.elements_computed_used += used

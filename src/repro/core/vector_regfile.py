@@ -49,11 +49,13 @@ class VectorRegister:
         "fp_load",
         "length",
         "start_offset",
+        "full_mask",
         "values",
         "r_time",
-        "v_flag",
-        "u_flag",
-        "f_flag",
+        "v_bits",
+        "u_bits",
+        "f_bits",
+        "pend_bits",
         "pred_addrs",
         "first_addr",
         "last_addr",
@@ -85,12 +87,22 @@ class VectorRegister:
         self.fp_load = False
         self.length = length
         self.start_offset = start_offset
+        #: all-elements bitmask; the V/U/F flag vectors below are packed
+        #: ints indexed by element (bit ``k`` = element ``k``), so the
+        #: whole-register predicates the freeing rules need (any U? every
+        #: element F?) are single int compares instead of list scans.
+        self.full_mask = (1 << length) - 1
         self.values: List[Number] = [0] * length
         #: cycle each element's computation completes; None = not scheduled.
         self.r_time: List[Optional[int]] = [None] * length
-        self.v_flag = [False] * length
-        self.u_flag = [False] * length
-        self.f_flag = [False] * length
+        self.v_bits = 0
+        self.u_bits = 0
+        # Elements below start_offset do not exist for this instance; mark
+        # them vacuously complete so the freeing rules read naturally.
+        self.f_bits = (1 << start_offset) - 1
+        #: elements whose ALU result value sits in the engine's deferred
+        #: cross-cycle batch and has not been written to ``values`` yet.
+        self.pend_bits = 0
         #: predicted element addresses (loads only).
         self.pred_addrs: List[int] = []
         self.first_addr = 0
@@ -99,8 +111,11 @@ class VectorRegister:
         #: True once invalidated by a store conflict / misspeculation: no
         #: further validations may attach.
         self.defunct = False
-        #: read-transaction ids that fetched each element (loads; Fig 13).
-        self.txn_ids: List[Optional[int]] = [None] * length
+        #: read-transaction ids that fetched each element (loads only;
+        #: Fig 13).  ALU registers never carry transactions.
+        self.txn_ids: Optional[List[Optional[int]]] = (
+            [None] * length if is_load else None
+        )
         self.freed = False
         #: next element index awaiting a fetch request (loads; see the
         #: engine's throttled-fetch extension).
@@ -109,11 +124,8 @@ class VectorRegister:
         #: elements will never be fetched/computed (throttled-fetch
         #: extension); unscheduled elements then no longer block freeing.
         self.abandoned = False
-        # Elements below start_offset do not exist for this instance; mark
-        # them vacuously complete so the freeing rules read naturally.
         for k in range(start_offset):
             self.r_time[k] = 0
-            self.f_flag[k] = True
 
     # ------------------------------------------------------------------
 
@@ -153,7 +165,7 @@ class VectorRegister:
         """Evaluate the two §3.3 release conditions at cycle ``now``."""
         if self.freed:
             return False
-        if any(self.u_flag):
+        if self.u_bits:
             return False
         if self.defunct:
             # Invalidated register: nothing further will validate; release
@@ -162,13 +174,11 @@ class VectorRegister:
         if not self.all_computed(now):
             return False
         # Rule 1: every element computed and freed.
-        if all(self.f_flag):
+        if self.f_bits == self.full_mask:
             return True
         # Rule 2: every validated element freed, everything computed, no
         # element in use, and the allocating loop has terminated.
-        if self.mrbb != gmrbb and all(
-            (not v) or f for v, f in zip(self.v_flag, self.f_flag)
-        ):
+        if self.mrbb != gmrbb and not (self.v_bits & ~self.f_bits):
             return True
         return False
 
@@ -182,9 +192,10 @@ class VectorRegister:
         used = 0
         unused = 0
         not_computed = self.start_offset
+        v_bits = self.v_bits
         for k in range(self.start_offset, self.length):
             if self.r_time[k] is not None and self.r_time[k] <= now:
-                if self.v_flag[k]:
+                if (v_bits >> k) & 1:
                     used += 1
                 else:
                     unused += 1

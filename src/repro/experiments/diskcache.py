@@ -11,6 +11,10 @@ bit for bit.  This module caches both layers on disk:
   sampled keys carry the sampling parameters);
 * **traces/** — one serialized functional trace per (benchmark, scale,
   seed), in the :mod:`repro.functional.traceio` format;
+* **soa/** — the :class:`~repro.functional.trace.TraceSoA` predecode of
+  each cached trace (versioned columnar payload): warm runs attach it
+  instead of re-scanning every entry, so repeated experiments skip the
+  functional re-decode as well as the functional execution;
 * **checkpoints/** — warmed microarchitectural state (cache contents,
   predictor tables, architectural memory) at sampled-window boundaries,
   written by :mod:`repro.sampling` so re-runs and pool workers
@@ -91,6 +95,9 @@ class CacheCounters:
         "checkpoint_hits",
         "checkpoint_misses",
         "checkpoint_stores",
+        "soa_hits",
+        "soa_misses",
+        "soa_stores",
     )
 
     def __init__(self) -> None:
@@ -105,6 +112,9 @@ class CacheCounters:
         self.checkpoint_hits = 0
         self.checkpoint_misses = 0
         self.checkpoint_stores = 0
+        self.soa_hits = 0
+        self.soa_misses = 0
+        self.soa_stores = 0
 
 
 COUNTERS = CacheCounters()
@@ -142,6 +152,10 @@ def _traces_dir() -> pathlib.Path:
 
 def _checkpoints_dir() -> pathlib.Path:
     return cache_root() / "checkpoints"
+
+
+def _soa_dir() -> pathlib.Path:
+    return cache_root() / "soa"
 
 
 def _corpus_dir() -> pathlib.Path:
@@ -411,6 +425,64 @@ def store_trace(key: str, trace: Trace) -> None:
 
 
 # ---------------------------------------------------------------------------
+# SoA entries (persisted TraceSoA predecodes; see Trace.soa)
+# ---------------------------------------------------------------------------
+
+
+def soa_key(name: str, scale: int, seed: int) -> str:
+    """Content-hash key for one persisted :class:`~repro.functional.trace.TraceSoA`.
+
+    Same determinants as :func:`trace_key` (the predecode is a pure
+    function of the trace, and everything feeding the predecode — isa
+    tables, trace layout — lives in the trace source packages) plus the
+    SoA layout version, so a column-format bump orphans old entries
+    without touching the trace section.
+    """
+    payload = {
+        "format": CACHE_FORMAT,
+        "kind": "soa",
+        "soa_format": traceio.SOA_FORMAT_VERSION,
+        "benchmark": name,
+        "scale": scale,
+        "seed": seed,
+        "source": source_digest("trace"),
+    }
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load_soa(key: str):
+    """The cached predecode for ``key``, or None on miss/corruption."""
+    if not cache_enabled():
+        return None
+    path = _soa_dir() / f"{key}.soa"
+    try:
+        soa = traceio.loads_soa(path.read_text())
+    except FileNotFoundError:
+        COUNTERS.soa_misses += 1
+        return None
+    except (traceio.TraceFormatError, ValueError, OSError):
+        COUNTERS.soa_misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    COUNTERS.soa_hits += 1
+    return soa
+
+
+def store_soa(key: str, soa) -> None:
+    """Persist a predecode (atomic; no-op when disabled)."""
+    if not cache_enabled():
+        return
+    path = _soa_dir() / f"{key}.soa"
+    _atomic_write(path, traceio.dumps_soa(soa))
+    COUNTERS.soa_stores += 1
+    _corrupt_fault("soa", path)
+
+
+# ---------------------------------------------------------------------------
 # Checkpoint entries (warmed state at sampled-window boundaries)
 # ---------------------------------------------------------------------------
 
@@ -546,6 +618,7 @@ def corpus_keys() -> list:
 _SECTIONS = {
     "stats": (_stats_dir, (".json",)),
     "trace": (_traces_dir, (".jsonl",)),
+    "soa": (_soa_dir, (".soa",)),
     "checkpoint": (_checkpoints_dir, (".ckpt",)),
     "corpus": (_corpus_dir, (".json",)),
 }

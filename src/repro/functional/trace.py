@@ -26,6 +26,12 @@ from .memory import MemoryImage
 
 Number = Union[int, float]
 
+#: process-wide count of :class:`TraceSoA` builds *from entries* (the
+#: full predecode scan).  Reconstructing from cached columns
+#: (:meth:`TraceSoA.from_columns`) does not count — the disk-cache tests
+#: use this to prove warm runs skip the functional re-decode.
+SOA_BUILDS = 0
+
 
 @dataclass(slots=True)
 class TraceEntry:
@@ -113,7 +119,23 @@ class TraceSoA:
         "next_pc",
     )
 
+    @classmethod
+    def from_columns(cls, columns: dict) -> "TraceSoA":
+        """Rebuild a predecode from its persisted column arrays.
+
+        The inverse of :func:`repro.functional.traceio.dumps_soa`; skips
+        the per-entry scan entirely (and therefore does not count toward
+        :data:`SOA_BUILDS`).  The caller (traceio) has already validated
+        shape and versioning.
+        """
+        soa = cls.__new__(cls)
+        for name in cls.__slots__:
+            setattr(soa, name, columns[name])
+        return soa
+
     def __init__(self, entries: List["TraceEntry"]) -> None:
+        global SOA_BUILDS
+        SOA_BUILDS += 1
         n = len(entries)
         self.kind = [0] * n
         #: functional-unit class (int) and latency for scalar execution.

@@ -159,6 +159,7 @@ class VecInFlight(InFlight):
         "vreg",
         "velem",
         "pred_addr",
+        "mismatch",
         "counts_as_validation",
         "vrmt_rollback",
     )
@@ -185,8 +186,15 @@ class VecInFlight(InFlight):
         self.vreg = None
         self.velem = -1
         self.pred_addr: Optional[int] = None
+        self.mismatch = False
         self.counts_as_validation = False
         self.vrmt_rollback = None
+
+    # Validation/trigger records are only ever referenced by the ROB and
+    # the scheduler lists (rename holds a (reg, elem) tuple, never the
+    # record itself), so the fused loop recycles them at commit through a
+    # free pool; reset re-runs the full constructor.
+    reset = __init__
 
 
 _SEQ_KEY = attrgetter("seq")
@@ -247,6 +255,8 @@ class Machine:
         #: Min-heap of (wake_cycle, seq, InFlight) — see _execute for the
         #: exactness argument.
         self._parked: List[Tuple[int, int, InFlight]] = []
+        #: recycled validation/trigger records (see VecInFlight.reset).
+        self._vec_pool: List[VecInFlight] = []
         self.mem_queue: List[InFlight] = []
         #: fetched-but-undispatched instructions as packed ints:
         #: (seq << 1) | mispredicted  (see FetchUnit.fetch_into).
@@ -550,22 +560,16 @@ class Machine:
         done1 = now + 1
         # ---- phase 2: validations / triggers (batched address compare) ---
         if rv is not None:
-            n = len(rv)
             if bh is not None:
-                bh(n)
-            if n == 1:
-                fl = rv[0]
-                p = fl.pred_addr
-                mism = (True,) if (p is not None and p != fl.entry.addr) else (False,)
-            else:
-                mism = self._kernel.mismatch_flags(
-                    [f.pred_addr for f in rv], [f.entry.addr for f in rv]
-                )
-            for i, fl in enumerate(rv):
+                bh(len(rv))
+            for fl in rv:
                 # Inlined engine.validation_check: element still live and
                 # (for loads) predicted address matches the actual one.
+                # The address verdict itself was precomputed at dispatch
+                # (``fl.mismatch``) — both operands are decode-time
+                # constants — so no batched compare runs here.
                 vreg = fl.vreg
-                if vreg.freed or vreg.defunct or mism[i]:
+                if vreg.freed or vreg.defunct or fl.mismatch:
                     # Misspeculation: recover to scalar from this instruction.
                     engine.on_validation_failure(fl, now)
                     flush_seq = fl.seq
@@ -1009,7 +1013,14 @@ class Machine:
                 )
                 fl.vreg = decision.reg
                 fl.velem = decision.elem
-                fl.pred_addr = decision.pred_addr
+                p = decision.pred_addr
+                fl.pred_addr = p
+                # Both compare operands are fixed at decode (the engine's
+                # predicted address and the trace's actual one), so the
+                # validation verdict is precomputed here instead of
+                # re-deriving it in a batched compare every execute cycle.
+                if p is not None and p != entry.addr:
+                    fl.mismatch = True
                 fl.counts_as_validation = decision.counts_as_validation
                 fl.vrmt_rollback = decision.vrmt_rollback
                 fl.static_ready = ready_at
@@ -1262,6 +1273,7 @@ class Machine:
         max_store_commit = self._max_store_commit
         block_scalar = self._block_scalar
         wide_bus = self._wide_bus
+        vec_pool = self._vec_pool
         if engine is not None:
             vpcs = engine.vrmt.pcs
             engine_tick = engine.tick
@@ -1360,6 +1372,11 @@ class Machine:
                                     vec_map[rd] = None
                             if is_backward[entry.pc] and bkinds[fl.seq]:
                                 on_backward_branch_commit(entry.pc, now)
+                            if kind >= K_VALIDATION:
+                                # Commit is the last reference to a
+                                # validation/trigger record (never in lsq,
+                                # rename, or a waiters list): recycle it.
+                                vec_pool.append(fl)
                         if conflict:
                             flush_from(fl.seq + 1, now + 1 + mispredict_penalty, now)
                             break
@@ -1458,22 +1475,9 @@ class Machine:
 
                 done1 = now + 1
                 if rv is not None:
-                    n = len(rv)
-                    if n == 1:
-                        fl = rv[0]
-                        p = fl.pred_addr
-                        mism = (
-                            (True,)
-                            if (p is not None and p != fl.entry.addr)
-                            else (False,)
-                        )
-                    else:
-                        mism = kernel.mismatch_flags(
-                            [f.pred_addr for f in rv], [f.entry.addr for f in rv]
-                        )
-                    for i, fl in enumerate(rv):
+                    for fl in rv:
                         vreg = fl.vreg
-                        if vreg.freed or vreg.defunct or mism[i]:
+                        if vreg.freed or vreg.defunct or fl.mismatch:
                             on_validation_failure(fl, now)
                             flush_seq = fl.seq
                             break
@@ -1738,17 +1742,22 @@ class Machine:
                             decision = decode_alu(entry, src_descs_of(entry), now)
 
                     if decision is not None and decision.kind is not DecodeKind.SCALAR:
-                        fl = VecInFlight(
-                            seq,
-                            entry,
+                        vkind = (
                             K_VALIDATION
                             if decision.kind is DecodeKind.VALIDATION
-                            else K_TRIGGER,
-                            addrs[seq],
+                            else K_TRIGGER
                         )
+                        if vec_pool:
+                            fl = vec_pool.pop()
+                            fl.reset(seq, entry, vkind, addrs[seq])
+                        else:
+                            fl = VecInFlight(seq, entry, vkind, addrs[seq])
                         fl.vreg = decision.reg
                         fl.velem = decision.elem
-                        fl.pred_addr = decision.pred_addr
+                        p = decision.pred_addr
+                        fl.pred_addr = p
+                        if p is not None and p != entry.addr:
+                            fl.mismatch = True
                         fl.counts_as_validation = decision.counts_as_validation
                         fl.vrmt_rollback = decision.vrmt_rollback
                         fl.static_ready = ready_at

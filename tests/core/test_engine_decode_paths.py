@@ -1,5 +1,7 @@
 """White-box coverage of the engine's decode decision paths."""
 
+import dataclasses
+
 from repro.core.engine import DecodeKind, VectorizationEngine
 from repro.pipeline.config import make_config
 from repro.pipeline.stats import SimStats
@@ -49,7 +51,10 @@ def drive_load(engine, pc, addrs, start_seq=0):
     decisions = []
     for i, addr in enumerate(addrs):
         entry = FakeLoadEntry(start_seq + i, pc, addr)
-        decisions.append(engine.decode_load(entry, now=i, first_time=True))
+        # The engine reuses one scratch Decision across decode calls (the
+        # dispatch stage copies fields out immediately); snapshot it so the
+        # accumulated list stays meaningful.
+        decisions.append(dataclasses.replace(engine.decode_load(entry, now=i, first_time=True)))
     return decisions
 
 

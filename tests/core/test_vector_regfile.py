@@ -68,8 +68,7 @@ def test_rule1_all_computed_and_freed():
     vrf, reg = fresh()
     complete_all(reg)
     assert not reg.should_free(10, gmrbb=100)
-    for k in range(4):
-        reg.f_flag[k] = True
+    reg.f_bits = reg.full_mask
     assert reg.should_free(10, gmrbb=100)  # even with MRBB == GMRBB
 
 
@@ -77,8 +76,8 @@ def test_rule2_needs_loop_exit():
     """§3.3 rule 2: validated elements freed, all R, no U, MRBB != GMRBB."""
     vrf, reg = fresh()
     complete_all(reg)
-    reg.v_flag[0] = True
-    reg.f_flag[0] = True  # the only validated element is freed
+    reg.v_bits |= 1 << 0
+    reg.f_bits |= 1 << 0  # the only validated element is freed
     assert not reg.should_free(10, gmrbb=100)  # same loop -> keep
     assert reg.should_free(10, gmrbb=200)  # loop terminated -> release
 
@@ -86,9 +85,9 @@ def test_rule2_needs_loop_exit():
 def test_rule2_blocked_by_in_flight_validation():
     vrf, reg = fresh()
     complete_all(reg)
-    reg.u_flag[2] = True
+    reg.u_bits |= 1 << 2
     assert not reg.should_free(10, gmrbb=200)
-    reg.u_flag[2] = False
+    reg.u_bits &= ~(1 << 2)
     assert reg.should_free(10, gmrbb=200)
 
 
@@ -102,23 +101,23 @@ def test_rule2_blocked_by_uncomputed_element():
 def test_rule2_blocked_by_unfreed_validated_element():
     vrf, reg = fresh()
     complete_all(reg)
-    reg.v_flag[1] = True  # validated but F not yet set
+    reg.v_bits |= 1 << 1  # validated but F not yet set
     assert not reg.should_free(10, gmrbb=200)
 
 
 def test_defunct_frees_once_validations_drain():
     vrf, reg = fresh()
     reg.defunct = True
-    reg.u_flag[0] = True
+    reg.u_bits |= 1 << 0
     assert not reg.should_free(10, gmrbb=100)
-    reg.u_flag[0] = False
+    reg.u_bits &= ~(1 << 0)
     assert reg.should_free(10, gmrbb=100)
 
 
 def test_start_offset_elements_vacuously_complete():
     vrf = VectorRegisterFile(num_registers=4, vector_length=4)
     reg = vrf.allocate(1, False, start_offset=2, mrbb=-1)
-    assert reg.elem_done(0, 0) and reg.f_flag[0]
+    assert reg.elem_done(0, 0) and (reg.f_bits & 1)
     reg.r_time[2] = reg.r_time[3] = 1
     assert reg.should_free(5, gmrbb=99)  # rule 2 with nothing validated
 
@@ -126,7 +125,7 @@ def test_start_offset_elements_vacuously_complete():
 def test_element_fates_accounting():
     vrf, reg = fresh()
     reg.r_time[0] = reg.r_time[1] = 3
-    reg.v_flag[0] = True
+    reg.v_bits |= 1 << 0
     used, unused, not_computed = reg.element_fates(10)
     assert (used, unused, not_computed) == (1, 1, 2)
 
@@ -135,7 +134,7 @@ def test_element_fates_counts_prestart_as_not_computed():
     vrf = VectorRegisterFile(num_registers=4, vector_length=4)
     reg = vrf.allocate(1, False, start_offset=2, mrbb=-1)
     reg.r_time[2] = reg.r_time[3] = 1
-    reg.v_flag[2] = True
+    reg.v_bits |= 1 << 2
     used, unused, not_computed = reg.element_fates(10)
     assert (used, unused, not_computed) == (1, 1, 2)
 

@@ -5,8 +5,8 @@ miss — never an exception, never a wrong answer — and that the bad file
 is dropped so a clean rewrite takes its place.  The ``cache.store``
 fault site corrupts entries *as they are written*, which exercises the
 exact artifacts real torn writes leave behind (truncated JSON, foreign
-bytes, vanished files, orphaned ``*.tmp``) across all four sections:
-stats, traces, checkpoints and the fuzz corpus.
+bytes, vanished files, orphaned ``*.tmp``) across all five sections:
+stats, traces, soa predecodes, checkpoints and the fuzz corpus.
 """
 
 from __future__ import annotations
@@ -66,6 +66,18 @@ def _trace_case():
     )
 
 
+def _soa_case():
+    key = "deadc0de" * 8
+    trace = cached_trace("li", 1_500)  # obtained *before* any fault is armed
+    soa = trace.soa()
+    return (
+        key,
+        lambda: diskcache.store_soa(key, soa),
+        lambda: diskcache.load_soa(key),
+        lambda loaded: loaded.kind == soa.kind and loaded.bkind == soa.bkind,
+    )
+
+
 def _checkpoint_case():
     key = "feedface" * 8
     payload = {"position": 1200, "machine": {"cycles": 42}}
@@ -91,6 +103,7 @@ def _corpus_case():
 CASES = {
     "stats": _stats_case,
     "trace": _trace_case,
+    "soa": _soa_case,
     "checkpoint": _checkpoint_case,
     "corpus": _corpus_case,
 }
@@ -99,6 +112,7 @@ CASES = {
 LAYOUT = {
     "stats": ("stats", ".json"),
     "trace": ("traces", ".jsonl"),
+    "soa": ("soa", ".soa"),
     "checkpoint": ("checkpoints", ".ckpt"),
     "corpus": ("corpus", ".json"),
 }

@@ -17,8 +17,10 @@ stand in as fast deterministic regressions over the same generator.
 """
 
 import dataclasses
+import json
 import math
 import os
+import pathlib
 import random
 import warnings
 
@@ -36,6 +38,14 @@ from repro.workloads.spec95 import ALL_BENCHMARKS, cached_trace
 #: the fingerprint grid: every benchmark under five machine shapes.
 GRID_CONFIGS = ((4, 1, "noIM"), (4, 1, "IM"), (4, 1, "V"), (8, 1, "V"), (4, 4, "V"))
 GRID_SCALE = 1500
+
+#: SimStats fingerprints of the whole grid, captured before the
+#: flat-array engine-state / cross-cycle batching rework: the refactors
+#: must be pure restructurings, so current results must equal these
+#: bit-for-bit (not merely agree across backends).
+_FINGERPRINTS = json.loads(
+    (pathlib.Path(__file__).parent / "seed_fingerprints.json").read_text()
+)
 
 
 @pytest.fixture
@@ -63,7 +73,10 @@ def _stats(trace, width, ports, mode, observer=None):
 
 
 def test_kernel_parity_60_point_grid(kernel_reset):
-    """Bit-identical SimStats on all 60 grid points under both backends."""
+    """Bit-identical SimStats on all 60 grid points under both backends,
+    and bit-identical to the pinned pre-rework seed fingerprints."""
+    assert _FINGERPRINTS["scale"] == GRID_SCALE
+    points = _FINGERPRINTS["points"]
     for name in ALL_BENCHMARKS:
         trace = cached_trace(name, GRID_SCALE)
         for width, ports, mode in GRID_CONFIGS:
@@ -72,6 +85,8 @@ def test_kernel_parity_60_point_grid(kernel_reset):
             _select_numpy()
             got = _stats(trace, width, ports, mode)
             assert got == ref, f"backend divergence at {name}/{width}w{ports}p{mode}"
+            pinned = points[f"{name}/{width}w{ports}p/{mode}"]
+            assert ref == pinned, f"seed-semantics drift at {name}/{width}w{ports}p{mode}"
 
 
 @pytest.mark.parametrize(
