@@ -511,6 +511,13 @@ def main(argv=None) -> int:
         return check_regression(args.tolerance, args.scale, args.rounds)
     payload = run_benchmark(scale=args.scale, rounds=args.rounds)
     payload["history"] = append_history(payload, args.timestamp)
+    if RESULT_PATH.exists():  # bench_service.py owns the "service" section
+        try:
+            service = json.loads(RESULT_PATH.read_text()).get("service")
+        except (ValueError, OSError):
+            service = None
+        if service is not None:
+            payload["service"] = service
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     return 0

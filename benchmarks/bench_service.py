@@ -1,0 +1,382 @@
+"""Service-daemon load generator — latency/throughput under concurrency.
+
+Boots the simulation service (:mod:`repro.service`) in-process on an
+ephemeral port with an isolated cache directory, then measures what a
+long-running daemon is *for*:
+
+* **latency/throughput** — p50/p99 wall-clock latency and aggregate
+  requests/second for synchronous ``POST /run`` traffic at N ∈ {1, 4, 16}
+  concurrent clients, measured in steady state (one warm-up pass first,
+  so the numbers price the serving layer — HTTP, routing, dedup, memo —
+  not the simulation, which ``bench_perf.py`` already tracks);
+* **dedup** — the thundering-herd demo: 16 concurrent *identical* grid
+  submissions must coalesce onto exactly one job / one underlying grid
+  computation (≥ 15 dedup hits);
+* **envelope discipline** — every single response body observed during
+  the run must pass :func:`repro.schemas.validate_envelope`; the payload
+  records the failure count, and the guard requires zero.
+
+Results land in the ``service`` section of ``BENCH_perf.json`` (merged —
+the simulator-KIPS sections are ``bench_perf.py``'s and stay untouched).
+
+``--check`` turns the harness into the CI guard: re-measure at reduced
+scale and fail if fresh p99 latency exceeds the recorded p99 by more
+than ``--tolerance`` (default 4.0 — i.e. 5x; latency on shared CI hosts
+is noisy and the guard is against order-of-magnitude regressions, not
+jitter), or if any envelope fails validation, or if the dedup demo does
+not coalesce.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+Latency uses wall clock (``time.perf_counter``) — unlike the KIPS
+benchmark's CPU time, latency *is* a wall-clock quantity: it includes
+queueing, pool hand-off and HTTP overhead, which is exactly what a
+client experiences.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.schemas import EnvelopeError, validate_envelope  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: concurrency levels measured.
+CLIENTS = (1, 4, 16)
+#: synchronous requests each client issues per level.
+REQUESTS_PER_CLIENT = 12
+#: simulated instructions per requested point (small: the section prices
+#: the serving layer; simulator throughput is bench_perf.py's job).
+SCALE = 6_000
+#: the request mix each client cycles through.
+POINTS = (
+    {"benchmark": "compress", "mode": "noIM"},
+    {"benchmark": "compress", "mode": "IM"},
+    {"benchmark": "swim", "mode": "V"},
+    {"benchmark": "li", "mode": "V"},
+)
+
+
+class _Client:
+    """One benchmark client: counts envelope failures, records latency."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.latencies_ms: list = []
+        self.envelope_failures = 0
+        self.errors = 0
+
+    def request(self, method: str, path: str, body=None, timed: bool = False):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+        try:
+            t0 = time.perf_counter()
+            conn.request(
+                method, path,
+                json.dumps(body) if body is not None else None,
+                {"Content-Type": "application/json"} if body is not None else {},
+            )
+            response = conn.getresponse()
+            payload = json.loads(response.read())
+            elapsed = time.perf_counter() - t0
+        finally:
+            conn.close()
+        if timed:
+            self.latencies_ms.append(elapsed * 1000.0)
+        try:
+            validate_envelope(payload)
+        except EnvelopeError:
+            self.envelope_failures += 1
+        if response.status >= 400:
+            self.errors += 1
+        return response.status, payload
+
+
+def _quantile(values: list, q: float) -> float:
+    """Nearest-rank quantile of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(1, int(round(q * len(ordered) + 0.5)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _boot(scale: int, jobs: int = 2):
+    """An in-process daemon on an ephemeral port + isolated cache dir."""
+    from repro.service import ServiceConfig
+    from repro.service.server import build_server
+
+    config = ServiceConfig(
+        port=0, jobs=jobs, sync_limit=32, queue_limit=32, request_timeout=120.0,
+    )
+    server = build_server(config)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, host, port
+
+
+def _run_body(point: dict, scale: int) -> dict:
+    return {"scale": scale, **point}
+
+
+def measure_level(
+    host: str, port: int, clients: int, requests: int, scale: int
+) -> tuple:
+    """One concurrency level: returns (summary dict, client list)."""
+    pool = [_Client(host, port) for _ in range(clients)]
+
+    def drive(client: _Client) -> None:
+        for i in range(requests):
+            body = _run_body(POINTS[i % len(POINTS)], scale)
+            client.request("POST", "/run", body, timed=True)
+
+    t0 = time.perf_counter()
+    threads = [threading.Thread(target=drive, args=(c,)) for c in pool]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+
+    latencies = [ms for client in pool for ms in client.latencies_ms]
+    total = len(latencies)
+    summary = {
+        "clients": clients,
+        "requests": total,
+        "p50_ms": round(_quantile(latencies, 0.50), 2),
+        "p99_ms": round(_quantile(latencies, 0.99), 2),
+        "throughput_rps": round(total / wall, 2),
+        "errors": sum(c.errors for c in pool),
+    }
+    return summary, pool
+
+
+def dedup_demo(host: str, port: int, scale: int, herd: int = 16) -> dict:
+    """The acceptance demo: ``herd`` identical concurrent grid POSTs must
+    coalesce onto one job and one underlying computation."""
+    client = _Client(host, port)
+    body = {
+        "points": [
+            _run_body({"benchmark": "ijpeg", "mode": "V"}, scale + 1),
+            _run_body({"benchmark": "perl", "mode": "noIM"}, scale + 1),
+        ]
+    }
+    results = [None] * herd
+    clients = [_Client(host, port) for _ in range(herd)]
+
+    def submit(i: int) -> None:
+        results[i] = clients[i].request("POST", "/grid", body)
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(herd)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    job_ids = {payload["job"]["id"] for _, payload in results}
+    job_id = next(iter(job_ids))
+    while True:
+        status, payload = client.request("GET", f"/jobs/{job_id}")
+        if payload["job"]["state"] in ("done", "failed"):
+            break
+        time.sleep(0.1)
+    _, status_payload = client.request("GET", "/status")
+    return {
+        "herd": herd,
+        "distinct_jobs": len(job_ids),
+        "state": payload["job"]["state"],
+        "simulated_points": payload["job"]["result"]["accounting"]["simulated"],
+        "dedup_hits": status_payload["service"]["dedup"]["hits"],
+        "envelope_failures": client.envelope_failures
+        + sum(c.envelope_failures for c in clients),
+    }
+
+
+def run_benchmark(
+    scale: int = SCALE,
+    requests: int = REQUESTS_PER_CLIENT,
+    levels: tuple = CLIENTS,
+) -> dict:
+    """Boot a daemon, measure every level + the dedup demo, tear down."""
+    saved = {
+        key: os.environ.get(key) for key in ("REPRO_CACHE_DIR", "REPRO_NO_DISK_CACHE")
+    }
+    tmp = tempfile.mkdtemp(prefix="repro-bench-service-")
+    server = None
+    try:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        os.environ.pop("REPRO_NO_DISK_CACHE", None)
+        server, host, port = _boot(scale)
+        warm = _Client(host, port)
+        for point in POINTS:  # steady state: pay each simulation once
+            warm.request("POST", "/run", _run_body(point, scale))
+        envelope_failures = warm.envelope_failures
+        levels_out = []
+        for clients in levels:
+            summary, pool = measure_level(host, port, clients, requests, scale)
+            envelope_failures += sum(c.envelope_failures for c in pool)
+            levels_out.append(summary)
+            print(
+                f"N={clients:>2}: p50 {summary['p50_ms']:.1f} ms, "
+                f"p99 {summary['p99_ms']:.1f} ms, "
+                f"{summary['throughput_rps']:.1f} req/s",
+                file=sys.stderr,
+            )
+        dedup = dedup_demo(host, port, scale)
+        envelope_failures += dedup.pop("envelope_failures")
+        return {
+            "unit": "wall-clock ms per synchronous /run request",
+            "scale": scale,
+            "requests_per_client": requests,
+            "levels": levels_out,
+            "dedup": dedup,
+            "envelope_failures": envelope_failures,
+        }
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            server.service.shutdown()
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def merge_results(section: dict) -> dict:
+    """BENCH_perf.json with its ``service`` key replaced (others intact)."""
+    payload = {}
+    if RESULT_PATH.exists():
+        try:
+            payload = json.loads(RESULT_PATH.read_text())
+        except (ValueError, OSError):
+            payload = {}
+    payload["service"] = section
+    return payload
+
+
+def check_regression(
+    tolerance: float, scale: int, requests: int, levels: tuple
+) -> int:
+    """CI guard: fresh p99 within (1 + tolerance) of recorded, envelopes
+    clean, and the dedup herd still coalesces."""
+    recorded = json.loads(RESULT_PATH.read_text()).get("service")
+    if not recorded:
+        print("FAIL: BENCH_perf.json has no service section to guard against")
+        return 1
+    fresh = run_benchmark(scale=scale, requests=requests, levels=levels)
+    print(json.dumps(fresh, indent=2))
+    failed = False
+    recorded_p99 = {entry["clients"]: entry["p99_ms"] for entry in recorded["levels"]}
+    for entry in fresh["levels"]:
+        ceiling = recorded_p99.get(entry["clients"])
+        if ceiling is None:
+            continue
+        bound = ceiling * (1.0 + tolerance)
+        status = "OK" if entry["p99_ms"] <= bound else "FAIL"
+        if status == "FAIL":
+            failed = True
+        print(
+            f"N={entry['clients']}: fresh p99 {entry['p99_ms']:.1f} ms vs "
+            f"recorded {ceiling:.1f} ms (bound {bound:.1f}) {status}"
+        )
+    if fresh["envelope_failures"]:
+        print(f"FAIL: {fresh['envelope_failures']} envelope validation failure(s)")
+        failed = True
+    dedup = fresh["dedup"]
+    if (
+        dedup["distinct_jobs"] != 1
+        or dedup["state"] != "done"
+        or dedup["dedup_hits"] < dedup["herd"] - 1
+    ):
+        print(f"FAIL: dedup herd did not coalesce: {dedup}")
+        failed = True
+    if failed:
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI guard: compare fresh p99 against the recorded service section",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=4.0,
+        help="allowed fractional p99 increase over the recorded value "
+        "(default 4.0, i.e. 5x — CI latency is noisy)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=SCALE,
+        help="simulated instructions per requested point (default %(default)s)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=REQUESTS_PER_CLIENT,
+        help="requests per client per level (default %(default)s)",
+    )
+    parser.add_argument(
+        "--levels",
+        type=int,
+        nargs="*",
+        default=None,
+        metavar="N",
+        help="concurrency levels to measure (default: 1 4 16)",
+    )
+    args = parser.parse_args(argv)
+    levels = tuple(args.levels) if args.levels else CLIENTS
+    if args.check:
+        return check_regression(args.tolerance, args.scale, args.requests, levels)
+    section = run_benchmark(scale=args.scale, requests=args.requests, levels=levels)
+    payload = merge_results(section)
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+    if section["envelope_failures"]:
+        print("FAIL: envelope validation failures during the run")
+        return 1
+    return 0
+
+
+def test_service_bench_smoke():
+    """Smoke: a tiny load run completes with clean envelopes and dedup."""
+    section = run_benchmark(scale=2_000, requests=2, levels=(1, 2))
+    assert section["envelope_failures"] == 0
+    assert all(level["errors"] == 0 for level in section["levels"])
+    assert section["dedup"]["distinct_jobs"] == 1
+    assert section["dedup"]["dedup_hits"] >= section["dedup"]["herd"] - 1
+
+
+def test_quantile_nearest_rank():
+    """The nearest-rank quantile picks real observations, no interpolation."""
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert _quantile(values, 0.5) == 20.0
+    assert _quantile(values, 0.99) == 40.0
+    assert _quantile([7.0], 0.5) == 7.0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,9 +28,18 @@ A thin shell over the stable :mod:`repro.api` facade.  Commands:
 * ``fuzz replay ARTIFACT [--json]`` — re-execute a saved reproducer and
   compare against its recorded verdict;
 * ``fuzz corpus [--json]`` — show the persistent fuzz corpus;
+* ``serve [--port N] [--jobs J] [--queue-limit N] [--sync-limit N]
+  [--request-timeout S]`` — run the simulation service daemon: a
+  stdlib-only HTTP/JSON server fronting this same facade with a warm
+  worker pool, request deduplication, async jobs and backpressure
+  (:mod:`repro.service`, ``docs/SERVICE.md``);
 * ``cache {info,clear}`` — inspect or drop the persistent result cache
   (the fuzz corpus is a section of it);
 * ``list`` — list the available benchmarks.
+
+All JSON output — success or failure — carries the v2 envelope
+(``schema`` / ``ok`` / ``error`` + payload, :mod:`repro.schemas`);
+error paths answer with ``repro.error/v1`` envelopes.
 
 ``--sampled`` switches the simulations to sampled mode (functional
 warming + detailed windows, see :mod:`repro.sampling`);
@@ -161,7 +170,11 @@ def cmd_figures(args: argparse.Namespace) -> int:
         # Quarantined points leave holes the figure tables cannot paper
         # over; report the failures and exit nonzero instead of raising
         # a KeyError from deep inside a rows() function.
-        _print_grid_failures(batch.accounting)
+        if args.json:
+            payload = api.wrap_error(api.GridFailureError(batch.accounting).to_error())
+            print(json.dumps(payload, sort_keys=True))
+        else:
+            _print_grid_failures(batch.accounting)
         return 1
     results = [
         api.figure(name, scale=args.scale, sampling=sampling, prebatched=True)
@@ -169,7 +182,9 @@ def cmd_figures(args: argparse.Namespace) -> int:
     ]
     if args.json:
         payload = {
-            "schema": "repro.figures/v1",
+            "schema": api.SCHEMA_FIGURE_SET,
+            "ok": True,
+            "error": None,
             "grid": batch.to_dict()["accounting"],
             "figures": {result.spec.name: result.to_dict() for result in results},
         }
@@ -192,11 +207,16 @@ def cmd_headline(args: argparse.Namespace) -> int:
             max_retries=args.max_retries,
         )
     except api.GridFailureError as exc:
-        _print_grid_failures(exc.accounting)
+        if args.json:
+            print(json.dumps(api.wrap_error(exc.to_error()), sort_keys=True))
+        else:
+            _print_grid_failures(exc.accounting)
         return 1
     if args.json:
         payload = {
-            "schema": "repro.headline/v1",
+            "schema": api.SCHEMA_HEADLINE,
+            "ok": True,
+            "error": None,
             "scale": args.scale,
             "sampled": sampling is not None,
             "claims": claims,
@@ -210,7 +230,11 @@ def cmd_headline(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     if args.benchmark not in ALL_BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; try: {', '.join(ALL_BENCHMARKS)}")
+        message = f"unknown benchmark {args.benchmark!r}; try: {', '.join(ALL_BENCHMARKS)}"
+        if args.json:
+            print(json.dumps(api.error_envelope("benchmark.unknown", message), sort_keys=True))
+        else:
+            print(message)
         return 2
     result = api.simulate(
         args.benchmark,
@@ -296,7 +320,13 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         try:
             result = api.fuzz_replay(args.artifact)
         except (OSError, ValueError, KeyError) as exc:
-            print(f"cannot replay {args.artifact}: {exc}", file=sys.stderr)
+            if args.json:
+                payload = api.error_envelope(
+                    "fuzz.replay.unreadable", f"cannot replay {args.artifact}: {exc}"
+                )
+                print(json.dumps(payload, sort_keys=True))
+            else:
+                print(f"cannot replay {args.artifact}: {exc}", file=sys.stderr)
             return 2
         if args.json:
             print(json.dumps(result, sort_keys=True))
@@ -317,7 +347,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     info = Corpus().info()
     if args.json:
-        print(json.dumps({"schema": "repro.fuzz.corpus/v1", **info}, sort_keys=True))
+        payload = {"schema": api.SCHEMA_FUZZ_CORPUS, "ok": True, "error": None, **info}
+        print(json.dumps(payload, sort_keys=True))
     else:
         print(f"root:           {info['root']}")
         print(f"entries:        {info['entries']}")
@@ -325,6 +356,23 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         for kind, buckets in info["coverage_kinds"].items():
             print(f"  {kind:<18}{buckets} bucket(s)")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        job_workers=args.job_workers,
+        queue_limit=args.queue_limit,
+        sync_limit=args.sync_limit,
+        request_timeout=args.request_timeout,
+        max_retries=args.max_retries,
+        warm_benchmarks=tuple(args.warm_benchmarks or ()),
+    )
+    return serve(config, warm=not args.no_warm)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -556,6 +604,45 @@ def main(argv=None) -> int:
     pc = fuzz_sub.add_parser("corpus", help="show the persistent fuzz corpus")
     _add_json_argument(pc)
     pc.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon (HTTP/JSON, see docs/SERVICE.md)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8642, help="TCP port (0 = ephemeral)"
+    )
+    _add_jobs_argument(p)
+    p.add_argument(
+        "--job-workers", type=_positive_int, default=2, metavar="N",
+        help="threads draining the async job queue",
+    )
+    p.add_argument(
+        "--queue-limit", type=_positive_int, default=16, metavar="N",
+        help="queued async jobs past this answer 503 + Retry-After",
+    )
+    p.add_argument(
+        "--sync-limit", type=_positive_int, default=8, metavar="N",
+        help="concurrent synchronous requests past this answer 503",
+    )
+    p.add_argument(
+        "--request-timeout", type=_positive_float, default=300.0, metavar="S",
+        help="per-request stall/wait bound in seconds (504 past it)",
+    )
+    p.add_argument(
+        "--max-retries", type=_nonnegative_int, default=None, metavar="N",
+        help="fabric retry budget (default: $REPRO_MAX_RETRIES or 2)",
+    )
+    p.add_argument(
+        "--warm-benchmarks", nargs="*", metavar="BENCH", default=None,
+        help="preload these benchmarks' traces in every worker at start-up",
+    )
+    p.add_argument(
+        "--no-warm", action="store_true",
+        help="skip worker warm-up (first requests pay imports instead)",
+    )
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("action", choices=("info", "clear"))

@@ -22,10 +22,28 @@ Entry points:
   ``.repro.json`` reproducer artifacts.
 
 Result objects expose ``to_dict()`` returning versioned, JSON-serializable
-payloads (``schema`` keys ``repro.run/v1``, ``repro.grid/v1``,
-``repro.trace/v1``, ``repro.figure/v1``, ``repro.headline/v1``,
-``repro.fuzz/v1``, ``repro.fuzz.replay/v1``); the CLI's ``--json``
-modes print exactly these.
+payloads; the CLI's ``--json`` modes and the service daemon
+(:mod:`repro.service`, ``python -m repro serve``) print exactly these.
+
+**The wire contract (v2 envelope).**  Every payload carries the same
+top-level envelope: ``schema`` (a registered ``repro.<name>/v<N>``
+identifier), ``ok`` (did the operation succeed), ``error`` (``None`` or
+a ``repro.error/v1`` object: ``kind``/``message``/``retriable``/
+``point``), plus the schema-specific payload fields inline.  The single
+schema registry lives in :data:`SCHEMAS` (name -> version -> validator,
+implemented in :mod:`repro.schemas` and re-exported here);
+:func:`validate_envelope` is the shared check the service, the CLI and
+the test suites all run, and :func:`error_dict` /
+:func:`error_envelope` build the error shapes.  Registered schemas:
+``repro.run/v1``, ``repro.grid/v1``, ``repro.trace/v1``,
+``repro.figure/v1`` (one figure), ``repro.figure.set/v1`` (the CLI's
+multi-figure payload — ``repro.figures/v1`` is a deprecated alias the
+validator accepts for one release), ``repro.headline/v1``,
+``repro.fuzz/v1``, ``repro.fuzz.oracle/v1``, ``repro.fuzz.repro/v1``,
+``repro.fuzz.replay/v1``, ``repro.fuzz.corpus/v1``, ``repro.error/v1``,
+and the service's ``repro.service.{job,status,metrics,event}/v1``.
+Emitting a schema string literal outside :mod:`repro.schemas` is
+deprecated — import the ``SCHEMA_*`` constants.
 """
 
 from __future__ import annotations
@@ -37,7 +55,7 @@ from .experiments import diskcache
 from .experiments import figures as _figures
 from .experiments import parallel as _parallel
 from .experiments import runner as _runner
-from .experiments.parallel import GridPoint
+from .experiments.parallel import GridPoint, WorkerPool
 from .experiments.registry import FIGURES, FigureSpec, figure_names, get_figure
 from .observe import (
     MetricsRegistry,
@@ -53,6 +71,33 @@ from . import verify as _verify
 from .pipeline.machine import Machine
 from .pipeline.stats import SimStats
 from .sampling import SamplingConfig, run_sampled
+from .schemas import (
+    DEPRECATED_ALIASES,
+    EnvelopeError,
+    SCHEMAS,
+    SCHEMA_ERROR,
+    SCHEMA_FIGURE,
+    SCHEMA_FIGURE_SET,
+    SCHEMA_FUZZ,
+    SCHEMA_FUZZ_CORPUS,
+    SCHEMA_FUZZ_ORACLE,
+    SCHEMA_FUZZ_REPLAY,
+    SCHEMA_FUZZ_REPRO,
+    SCHEMA_GRID,
+    SCHEMA_HEADLINE,
+    SCHEMA_JOB,
+    SCHEMA_RUN,
+    SCHEMA_SERVICE_EVENT,
+    SCHEMA_SERVICE_METRICS,
+    SCHEMA_SERVICE_STATUS,
+    SCHEMA_TRACE,
+    schema_names,
+    envelope as _envelope,
+    error_dict,
+    error_envelope,
+    validate_envelope,
+    wrap_error,
+)
 from .verify import CampaignReport, OracleConfig
 from .workloads.spec95 import ALL_BENCHMARKS
 from .workloads.spec95 import cached_trace as _cached_trace
@@ -95,6 +140,21 @@ class GridFailureError(RuntimeError):
             + "; ".join(lines)
         )
 
+    def to_error(self) -> Dict:
+        """The ``repro.error/v1`` object for this failure (envelope-ready).
+
+        ``retriable`` is False — every quarantined point already
+        exhausted its retry budget; an identical resubmission will hit
+        the same fault unless the environment changed.  The per-point
+        failures ride along as nested error objects.
+        """
+        return error_dict(
+            "grid.failure",
+            str(self),
+            retriable=False,
+            failures=[failure.to_dict() for failure in self.accounting.failed],
+        )
+
 
 # ---------------------------------------------------------------------------
 # simulate
@@ -133,7 +193,9 @@ class RunResult:
 
     def to_dict(self) -> Dict:
         return {
-            "schema": "repro.run/v1",
+            "schema": SCHEMA_RUN,
+            "ok": True,
+            "error": None,
             "point": {
                 "benchmark": self.benchmark,
                 "width": self.width,
@@ -238,8 +300,11 @@ class GridReport:
         return self.accounting.summary()
 
     def to_dict(self) -> Dict:
+        failed = not self.accounting.ok
         return {
-            "schema": "repro.grid/v1",
+            "schema": SCHEMA_GRID,
+            "ok": not failed,
+            "error": GridFailureError(self.accounting).to_error() if failed else None,
             "accounting": {
                 "requested": self.accounting.requested,
                 "unique": self.accounting.unique,
@@ -265,6 +330,7 @@ def grid(
     metrics: bool = False,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool: Optional[_parallel.WorkerPool] = None,
 ) -> GridReport:
     """Compute a batch of grid points, fanning misses over a process pool.
 
@@ -273,7 +339,10 @@ def grid(
     coordinate of *every* point (the common "same grid, sampled" case).
     ``metrics=True`` aggregates every point's metrics — whether it came
     from a worker, the disk cache, or the memo — into one registry on the
-    returned report.
+    returned report.  ``pool``, when given, is a warm
+    :class:`repro.experiments.parallel.WorkerPool` reused instead of
+    spawning a fresh process pool per call (the service daemon's
+    amortization lever).
 
     Failures are contained per point: a task that keeps failing (or, with
     ``task_timeout``, hanging) is retried ``max_retries`` times with
@@ -297,6 +366,7 @@ def grid(
         metrics=registry,
         task_timeout=task_timeout,
         max_retries=max_retries,
+        pool=pool,
     )
     runs = [
         RunResult(
@@ -357,7 +427,9 @@ class TraceReport:
 
     def to_dict(self) -> Dict:
         return {
-            "schema": "repro.trace/v1",
+            "schema": SCHEMA_TRACE,
+            "ok": True,
+            "error": None,
             "run": self.result.to_dict(),
             "capture": self.bus_summary,
             "crosscheck": self.crosscheck(),
@@ -449,7 +521,9 @@ class FigureResult:
 
     def to_dict(self) -> Dict:
         return {
-            "schema": "repro.figure/v1",
+            "schema": SCHEMA_FIGURE,
+            "ok": True,
+            "error": None,
             "figure": self.spec.describe(),
             "rows": self.rows,
         }
@@ -464,6 +538,7 @@ def figure(
     prebatched: bool = False,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool: Optional[_parallel.WorkerPool] = None,
 ) -> FigureResult:
     """Regenerate one figure of the paper (see :data:`FIGURES` for names).
 
@@ -482,6 +557,7 @@ def figure(
             report = grid(
                 points, jobs=jobs,
                 task_timeout=task_timeout, max_retries=max_retries,
+                pool=pool,
             )
             if not report.ok:
                 raise GridFailureError(report.accounting)
@@ -495,6 +571,7 @@ def headline(
     jobs: Optional[int] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool: Optional[_parallel.WorkerPool] = None,
 ) -> Dict[str, float]:
     """Measure the paper's headline claims (§1/§4/§6) on this machine.
 
@@ -505,6 +582,7 @@ def headline(
     report = grid(
         _figures.headline_points(scale, sampling), jobs=jobs,
         task_timeout=task_timeout, max_retries=max_retries,
+        pool=pool,
     )
     if not report.ok:
         raise GridFailureError(report.accounting)
@@ -570,7 +648,9 @@ def fuzz_replay(path) -> Dict:
 __all__ = [
     "ALL_BENCHMARKS",
     "CampaignReport",
+    "DEPRECATED_ALIASES",
     "EXPERIMENT_SCALE",
+    "EnvelopeError",
     "FIGURES",
     "FigureResult",
     "FigureSpec",
@@ -579,8 +659,28 @@ __all__ = [
     "GridReport",
     "OracleConfig",
     "RunResult",
+    "SCHEMAS",
+    "SCHEMA_ERROR",
+    "SCHEMA_FIGURE",
+    "SCHEMA_FIGURE_SET",
+    "SCHEMA_FUZZ",
+    "SCHEMA_FUZZ_CORPUS",
+    "SCHEMA_FUZZ_ORACLE",
+    "SCHEMA_FUZZ_REPLAY",
+    "SCHEMA_FUZZ_REPRO",
+    "SCHEMA_GRID",
+    "SCHEMA_HEADLINE",
+    "SCHEMA_JOB",
+    "SCHEMA_RUN",
+    "SCHEMA_SERVICE_EVENT",
+    "SCHEMA_SERVICE_METRICS",
+    "SCHEMA_SERVICE_STATUS",
+    "SCHEMA_TRACE",
     "SamplingConfig",
     "TraceReport",
+    "WorkerPool",
+    "error_dict",
+    "error_envelope",
     "figure",
     "figure_names",
     "fuzz",
@@ -588,6 +688,9 @@ __all__ = [
     "get_figure",
     "grid",
     "headline",
+    "schema_names",
     "simulate",
     "trace",
+    "validate_envelope",
+    "wrap_error",
 ]

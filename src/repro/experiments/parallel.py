@@ -61,6 +61,7 @@ results).  Zero or negative worker counts are rejected, not clamped.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -75,6 +76,7 @@ from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 from ..observe import MetricsRegistry, Observer, record_sim_stats
 from ..pipeline.stats import SimStats
+from ..schemas import error_dict
 from . import diskcache, runner
 
 #: default attempt budget beyond the first try (see FaultPolicy).
@@ -172,8 +174,17 @@ class TaskFailure:
         return f"{coord}: {self.kind} after {self.attempts} attempt(s) — {self.error}"
 
     def to_dict(self) -> Dict:
-        return {
-            "point": {
+        """The ``repro.error/v1`` object for this quarantined point.
+
+        ``retriable`` is False: the retry budget is already spent, so an
+        identical request will fail the same way.  The attempt count
+        rides as a kind-specific extra.
+        """
+        return error_dict(
+            self.kind,
+            self.error,
+            retriable=False,
+            point={
                 "benchmark": self.point.name,
                 "width": self.point.width,
                 "ports": self.point.ports,
@@ -182,10 +193,8 @@ class TaskFailure:
                 "block_on_scalar_operand": self.point.block_on_scalar_operand,
                 "sampling": list(self.point.sampling) if self.point.sampling else None,
             },
-            "kind": self.kind,
-            "error": self.error,
-            "attempts": self.attempts,
-        }
+            attempts=self.attempts,
+        )
 
 
 @dataclass
@@ -246,6 +255,111 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def _worker_warmup(benchmarks: Tuple[str, ...], scale: int):
+    """Pool warm-up task: pay the import + trace-load cost up front.
+
+    Importing the simulator packages and materializing the functional
+    traces (disk-cached, predecoded) dominates a cold worker's first
+    task; running this once per worker moves that cost to service
+    start-up so request latency measures simulation, not imports.
+    Returns the worker pid so callers can count distinct warmed workers.
+    """
+    from ..workloads.spec95 import cached_trace
+
+    for name in benchmarks:
+        cached_trace(name, scale)
+    return os.getpid()
+
+
+class WorkerPool:
+    """A warm, reusable :class:`ProcessPoolExecutor` shared across grids.
+
+    Per-call pools (the default :func:`run_grid` path) pay process
+    spawn + interpreter import for every batch; a long-running caller —
+    the service daemon above all — instead keeps one ``WorkerPool`` and
+    passes it to every :func:`run_grid`, which then draws its executor
+    from here and *returns it warm* instead of shutting it down.
+
+    Fault semantics are unchanged: when a batch marks the pool broken
+    (worker death, stall past ``task_timeout``) the driver calls
+    :meth:`discard`, which terminates the wreck and lets the next
+    :meth:`executor` call respawn lazily (counted in ``restarts``);
+    retry/quarantine/isolation logic in :func:`_execute_pool` runs
+    exactly as for owned pools — isolation mode always builds its own
+    throwaway single-worker pools so a crasher can never poison the
+    shared one while being indicted.
+
+    Thread-safe: concurrent grids may share one pool (submissions
+    interleave; each driver waits only on its own futures).  A driver
+    that discards the shared pool mid-flight merely forces the others
+    onto the respawn path — their futures surface ``BrokenExecutor`` and
+    are retried under the normal policy.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        #: worker count, resolved once (argument / $REPRO_JOBS / CPUs).
+        self.jobs = resolve_jobs(jobs)
+        self._lock = threading.Lock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: pools discarded after breaking (monitoring surface).
+        self.restarts = 0
+        self._spawned = 0
+
+    def executor(self) -> ProcessPoolExecutor:
+        """The live shared pool, spawning it on first use / after a discard."""
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+                self._spawned += 1
+                if self._spawned > 1:
+                    self.restarts += 1
+            return self._pool
+
+    def discard(self, pool: ProcessPoolExecutor) -> None:
+        """Drop (and terminate) a broken executor obtained from here.
+
+        Identity-checked so two drivers hitting the same break only
+        discard once, and a driver holding a stale handle cannot kill a
+        healthy respawn.
+        """
+        with self._lock:
+            mine = pool is self._pool
+            if mine:
+                self._pool = None
+        if mine:
+            _abort_pool(pool)
+
+    def warm(
+        self,
+        benchmarks: Iterable[str] = (),
+        scale: int = runner.EXPERIMENT_SCALE,
+        timeout: Optional[float] = 60.0,
+    ) -> int:
+        """Spin every worker up now (imports + optional trace preload).
+
+        Submits one warm-up task per worker slot and waits up to
+        ``timeout`` seconds; returns how many distinct workers reported
+        in (0 when pools are unavailable — callers degrade gracefully).
+        """
+        names = tuple(benchmarks)
+        try:
+            pool = self.executor()
+            futures = [
+                pool.submit(_worker_warmup, names, scale) for _ in range(self.jobs)
+            ]
+            done, _ = wait(futures, timeout=timeout)
+            return len({future.result() for future in done})
+        except Exception:
+            return 0
+
+    def shutdown(self) -> None:
+        """Tear the shared pool down (idempotent; a later use respawns)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
 def _worker_run_point(key: GridPoint, want_metrics: bool = False):
     """Pool entry point: compute one grid point in a worker process.
 
@@ -270,6 +384,7 @@ def run_grid(
     metrics: Optional[MetricsRegistry] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[GridPoint, SimStats]:
     """Compute every grid point, fanning misses out over a process pool.
 
@@ -293,12 +408,19 @@ def run_grid(
     knob semantics (also reachable as ``$REPRO_TASK_TIMEOUT`` /
     ``$REPRO_MAX_RETRIES`` and the CLI's ``--task-timeout`` /
     ``--max-retries``).
+
+    ``pool``, when given, is a shared :class:`WorkerPool` drawn from
+    instead of spawning (and tearing down) a per-call executor; its
+    worker count also overrides ``jobs``.  With a pool attached, even a
+    *single* cold point runs in a worker process — the isolation the
+    service daemon relies on so a poisoned request can never take down
+    the parent — where the default path would run it serially in-process.
     """
     points = list(points)
     if report is None:
         report = GridReport()
     report.requested = len(points)
-    jobs = resolve_jobs(jobs)
+    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
     report.jobs = jobs
     policy = FaultPolicy.resolve(task_timeout, max_retries)
 
@@ -353,7 +475,7 @@ def run_grid(
             still_cold.append(point)
 
     if still_cold:
-        computed = _execute(still_cold, jobs, want_metrics, policy, report)
+        computed = _execute(still_cold, jobs, want_metrics, policy, report, pool)
         for point, payload, simulated, point_metrics in computed:
             stats = diskcache.stats_from_dict(payload)
             runner.prime_memo(tuple(point), stats)
@@ -394,6 +516,7 @@ def _execute(
     want_metrics: bool,
     policy: FaultPolicy,
     report: GridReport,
+    pool: Optional[WorkerPool] = None,
 ) -> List[tuple]:
     """Compute ``points`` with per-task isolation; failures land in
     ``report.failed``, successes are returned as worker-outcome tuples."""
@@ -401,9 +524,13 @@ def _execute(
     attempts: Dict[GridPoint, int] = {point: 0 for point in points}
     work = partial(_worker_run_point, want_metrics=want_metrics)
     remaining = list(points)
-    if jobs > 1 and len(points) > 1:
+    # A shared WorkerPool forces the pool path even for one point: its
+    # callers (the service) want process isolation, not just throughput.
+    if jobs > 1 and (len(points) > 1 or pool is not None):
         try:
-            _execute_pool(remaining, jobs, work, policy, attempts, outcomes, report)
+            _execute_pool(
+                remaining, jobs, work, policy, attempts, outcomes, report, pool
+            )
             return outcomes
         except _PoolUnavailable:
             # Restricted environments (no sem_open / fork): degrade to
@@ -444,11 +571,17 @@ def _execute_serial(points, work, policy, attempts, outcomes, report) -> None:
                 time.sleep(policy.backoff(attempts[point]))
 
 
-def _execute_pool(pending, jobs, work, policy, attempts, outcomes, report) -> None:
+def _execute_pool(
+    pending, jobs, work, policy, attempts, outcomes, report, shared=None
+) -> None:
     """Pooled execution: per-task futures, broken-pool salvage, isolation.
 
     ``pending`` is consumed; completed outcomes append to ``outcomes``
-    and quarantined points to ``report.failed``.
+    and quarantined points to ``report.failed``.  ``shared``, when
+    given, is a :class:`WorkerPool` supplying the executor (kept warm on
+    success, discarded on break); isolation mode always owns a fresh
+    single-worker pool regardless, so an indicted crasher never executes
+    inside the shared pool.
     """
     breaks = 0
     while pending:
@@ -456,8 +589,12 @@ def _execute_pool(pending, jobs, work, policy, attempts, outcomes, report) -> No
         batch = pending[:1] if isolate else list(pending)
         rest = pending[1:] if isolate else []
         workers = 1 if isolate else min(jobs, len(batch))
+        owned = isolate or shared is None
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
+            if owned:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            else:
+                pool = shared.executor()
         except (OSError, ImportError, NotImplementedError) as exc:
             raise _PoolUnavailable(str(exc)) from exc
         try:
@@ -467,15 +604,22 @@ def _execute_pool(pending, jobs, work, policy, attempts, outcomes, report) -> No
             )
         except (OSError, ImportError) as exc:
             # The pool machinery itself is unusable (semaphores, pipes).
-            _abort_pool(pool)
+            if owned:
+                _abort_pool(pool)
+            else:
+                shared.discard(pool)
             raise _PoolUnavailable(str(exc)) from exc
         if broke:
-            _abort_pool(pool)
+            if owned:
+                _abort_pool(pool)
+            else:
+                shared.discard(pool)
             breaks += 1
             if requeue or rest:
                 report.pool_restarts += 1
-        else:
+        elif owned:
             pool.shutdown(wait=True)
+        # else: the shared pool stays warm for the next batch/request.
         if quarantined_crash:
             # The crasher is identified and quarantined; give pooled mode
             # another chance for the survivors.

@@ -34,6 +34,7 @@ runs once per completed run.)
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Optional, Tuple, Union
 
 Number = Union[int, float]
@@ -113,6 +114,30 @@ class Histogram:
     def merge(self, other: "Histogram") -> None:
         for value, count in other.counts.items():
             self.counts[value] = self.counts.get(value, 0) + count
+
+    def quantile(self, q: float) -> Optional[Number]:
+        """The smallest numeric key at or above the ``q`` quantile.
+
+        Walks the sorted numeric keys accumulating counts (nearest-rank
+        definition, so ``quantile(0.5)`` on {1: 1, 3: 1} is 1, not 2);
+        string-keyed entries are ignored.  None on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        numeric = sorted(
+            (key, count) for key, count in self.counts.items()
+            if isinstance(key, (int, float)) and not isinstance(key, bool)
+        )
+        total = sum(count for _, count in numeric)
+        if total == 0:
+            return None
+        rank = max(1, math.ceil(q * total))
+        seen = 0
+        for key, count in numeric:
+            seen += count
+            if seen >= rank:
+                return key
+        return numeric[-1][0]
 
     def to_payload(self) -> Dict:
         # JSON object keys are strings; keep the original type in-band.

@@ -1,0 +1,61 @@
+"""In-flight request coalescing for the synchronous endpoints.
+
+Identical concurrent requests (same :func:`repro.service.wire.request_key`)
+elect one **leader** that computes the response; every **follower** blocks
+on the leader's future and receives the same ``(envelope, status)`` pair.
+The registry holds only *in-flight* work — once the leader resolves, the
+key is dropped and the next identical request recomputes (which is then a
+memo/disk-cache hit anyway; persistent result reuse is the cache's job,
+this layer only collapses the thundering herd).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Dict, Tuple
+
+
+class InflightRegistry:
+    """``join(key)`` -> ``(future, leader)`` with single-leader election."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Future] = {}
+        #: followers served without a computation (monitoring surface).
+        self.hits = 0
+
+    def join(self, key: str) -> Tuple[Future, bool]:
+        """Join the in-flight computation for ``key``.
+
+        Returns ``(future, True)`` for the leader — who *must* call
+        :meth:`resolve` (or :meth:`fail`) exactly once — and
+        ``(future, False)`` for followers, who just wait on the future.
+        """
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                self.hits += 1
+                return future, False
+            future = Future()
+            self._inflight[key] = future
+            return future, True
+
+    def resolve(self, key: str, future: Future, result) -> None:
+        """Leader hand-off: publish ``result`` and retire the key."""
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+        future.set_result(result)
+
+    def fail(self, key: str, future: Future, exc: BaseException) -> None:
+        """Leader hand-off for the failure path: propagate ``exc``."""
+        with self._lock:
+            if self._inflight.get(key) is future:
+                del self._inflight[key]
+        future.set_exception(exc)
+
+    def depth(self) -> int:
+        """How many distinct computations are currently in flight."""
+        with self._lock:
+            return len(self._inflight)

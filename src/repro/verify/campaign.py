@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from ..observe.events import coverage_signature
+from ..schemas import SCHEMA_FUZZ, error_dict
 from . import faults
 from .fuzzer import Corpus, generate_genome, mutate_genome, synthesize
 from .minimize import instruction_count, minimize_program, save_artifact
@@ -80,8 +81,17 @@ class CampaignReport:
         return not self.divergences
 
     def to_dict(self) -> Dict:
+        error = None
+        if not self.ok:
+            error = error_dict(
+                "fuzz.divergence",
+                f"{len(self.divergences)} divergence(s) found",
+                retriable=False,
+            )
         return {
-            "schema": "repro.fuzz/v1",
+            "schema": SCHEMA_FUZZ,
+            "ok": self.ok,
+            "error": error,
             "seed": self.seed,
             "oracle": self.oracle.to_dict(),
             "programs": self.programs,

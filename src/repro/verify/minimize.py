@@ -35,9 +35,10 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..isa.instruction import Instruction
 from ..isa.opcodes import Opcode
 from ..isa.program import Program, ProgramError
+from ..schemas import SCHEMA_FUZZ_REPLAY, SCHEMA_FUZZ_REPRO, error_dict
 
 #: artifact schema identifier (bump on layout change).
-ARTIFACT_SCHEMA = "repro.fuzz.repro/v1"
+ARTIFACT_SCHEMA = SCHEMA_FUZZ_REPRO
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +222,8 @@ def save_artifact(
     path = pathlib.Path(path)
     payload = {
         "schema": ARTIFACT_SCHEMA,
+        "ok": True,
+        "error": None,
         "program": program_to_dict(program),
         "oracle": oracle_config.to_dict(),
         "report": report.to_dict(),
@@ -265,10 +268,18 @@ def replay_artifact(path) -> Dict:
         # matches its recorded report bit-for-bit) instead of taking the
         # CLI down with a traceback.
         replayed = crash_report(exc)
+    replayed_dict = replayed.to_dict()
+    matches = replayed_dict == payload["report"]
     return {
-        "schema": "repro.fuzz.replay/v1",
+        "schema": SCHEMA_FUZZ_REPLAY,
+        "ok": matches,
+        "error": None if matches else error_dict(
+            "fuzz.replay.mismatch",
+            "replayed oracle report differs from the recorded one",
+            retriable=False,
+        ),
         "artifact": str(path),
-        "matches": replayed.to_dict() == payload["report"],
+        "matches": matches,
         "recorded": payload["report"],
-        "replayed": replayed.to_dict(),
+        "replayed": replayed_dict,
     }

@@ -43,6 +43,7 @@ from ..functional.trace import Trace
 from ..observe import Observer, TraceBus
 from ..pipeline.config import make_config
 from ..pipeline.machine import Machine
+from ..schemas import SCHEMA_FUZZ_ORACLE
 from . import faults
 
 #: oracle verdicts.
@@ -105,8 +106,12 @@ class OracleReport:
         return self.verdict == DIVERGE
 
     def to_dict(self) -> Dict:
+        # The verdict (even DIVERGE) is the *result* of a successful oracle
+        # run, so the envelope is always ok — divergence lives in the payload.
         return {
-            "schema": "repro.fuzz.oracle/v1",
+            "schema": SCHEMA_FUZZ_ORACLE,
+            "ok": True,
+            "error": None,
             "verdict": self.verdict,
             "divergences": [d.to_dict() for d in self.divergences],
             "coverage": dict(sorted(self.coverage.items())),

@@ -76,7 +76,9 @@ def test_figures_json(capsys):
     assert main(["figures", "--scale", "2500", "--only", "fig14", "--json",
                  "--jobs", "1"]) == 0
     payload = json.loads(capsys.readouterr().out)
-    assert payload["schema"] == "repro.figures/v1"
+    # canonical since the repro.figures/v1 spelling was deprecated
+    assert payload["schema"] == "repro.figure.set/v1"
+    assert payload["ok"] is True and payload["error"] is None
     assert payload["figures"]["fig14"]["schema"] == "repro.figure/v1"
     assert "swim" in payload["figures"]["fig14"]["rows"]
 

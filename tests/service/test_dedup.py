@@ -1,0 +1,124 @@
+"""Request dedup: in-flight coalescing (sync) and job joining (async)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.schemas import SCHEMA_GRID, SCHEMA_JOB, validate_envelope
+from repro.service.dedup import InflightRegistry
+
+
+class TestInflightRegistry:
+    def test_single_leader_many_followers(self):
+        """N concurrent joiners elect exactly one leader; followers all
+        receive the leader's result and are counted as hits."""
+        registry = InflightRegistry()
+        gate = threading.Event()
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            future, leader = registry.join("k")
+            if leader:
+                gate.wait(5.0)
+                registry.resolve("k", future, "computed")
+                value = "leader"
+            else:
+                value = future.result(timeout=5.0)
+            with lock:
+                outcomes.append(value)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        # wait until every follower has joined before releasing the leader
+        deadline = time.monotonic() + 5.0
+        while registry.hits < 7 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        gate.set()
+        for t in threads:
+            t.join(timeout=5.0)
+        assert outcomes.count("leader") == 1
+        assert outcomes.count("computed") == 7
+        assert registry.hits == 7
+        assert registry.depth() == 0
+
+    def test_failure_propagates_to_followers(self):
+        registry = InflightRegistry()
+        future, leader = registry.join("k")
+        assert leader
+        follower, is_leader = registry.join("k")
+        assert not is_leader and follower is future
+        registry.fail("k", future, RuntimeError("boom"))
+        try:
+            follower.result(timeout=1.0)
+        except RuntimeError as exc:
+            assert str(exc) == "boom"
+        else:
+            raise AssertionError("expected the leader's exception")
+        assert registry.depth() == 0
+
+    def test_key_retires_after_resolve(self):
+        """Coalescing only spans in-flight work — a later identical
+        request elects a fresh leader (persistent reuse is the cache's)."""
+        registry = InflightRegistry()
+        future, leader = registry.join("k")
+        registry.resolve("k", future, "done")
+        _, leader_again = registry.join("k")
+        assert leader and leader_again
+
+
+def test_identical_grid_herd_coalesces_to_one_job(daemon):
+    """The acceptance demo at test scale: 8 concurrent identical grid
+    submissions -> one job, one underlying computation, 7 dedup hits."""
+    _, client = daemon()
+    body = {
+        "points": [
+            {"benchmark": "compress", "mode": "noIM", "scale": 3_310},
+            {"benchmark": "li", "mode": "V", "scale": 3_310},
+        ]
+    }
+    herd = 8
+    results = [None] * herd
+
+    def submit(i):
+        results[i] = client.request("POST", "/grid", body)
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(herd)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30.0)
+
+    assert all(status == 202 for status, _, _ in results)
+    for _, payload, _ in results:
+        assert validate_envelope(payload)["schema"] == SCHEMA_JOB
+    job_ids = {payload["job"]["id"] for _, payload, _ in results}
+    assert len(job_ids) == 1
+
+    payload = client.wait_job(next(iter(job_ids)))
+    job = payload["job"]
+    assert job["state"] == "done"
+    assert job["dedup_hits"] == herd - 1
+    result = job["result"]
+    assert validate_envelope(result)["schema"] == SCHEMA_GRID
+    # one computation: the grid's two unique points were simulated once
+    assert result["accounting"]["simulated"] == 2
+
+    _, status_payload, _ = client.request("GET", "/status")
+    assert status_payload["service"]["dedup"]["hits"] >= herd - 1
+
+
+def test_resubmission_joins_completed_job(daemon):
+    """An identical request after completion joins the done job (the job
+    table is also the daemon's short-term result memo)."""
+    _, client = daemon()
+    body = {"points": [{"benchmark": "compress", "mode": "IM", "scale": 3_320}]}
+    status, first, _ = client.request("POST", "/grid", body)
+    assert status == 202
+    client.wait_job(first["job"]["id"])
+    status, second, _ = client.request("POST", "/grid", body)
+    assert status == 202
+    assert second["job"]["id"] == first["job"]["id"]
+    assert second["job"]["dedup_hits"] == 1

@@ -1,0 +1,50 @@
+"""Fault containment: a poisoned request fails structurally, the daemon
+keeps serving.
+
+``REPRO_FAULTS`` is set in the daemon's environment before the worker
+pool spawns, so the injected crash fires inside a pool *process* — the
+fabric's retry/quarantine machinery turns it into a ``repro.error/v1``
+response while the HTTP front and every other benchmark stay healthy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.schemas import SCHEMA_RUN, validate_envelope
+
+
+def test_poisoned_request_is_contained(daemon, monkeypatch):
+    monkeypatch.setenv(
+        "REPRO_FAULTS",
+        json.dumps(
+            [{"site": "grid.point", "action": "crash", "match": {"benchmark": "go"}}]
+        ),
+    )
+    _, client = daemon(max_retries=1)
+
+    # the poisoned benchmark: its workers crash, the fabric exhausts the
+    # retry budget and quarantines the point into an error envelope
+    status, payload, _ = client.request(
+        "POST", "/run", {"benchmark": "go", "mode": "V", "scale": 3_510},
+        timeout=120.0,
+    )
+    assert status == 500
+    info = validate_envelope(payload)
+    assert info["name"] == "repro.error"
+    assert payload["ok"] is False
+    assert payload["error"]["kind"] == "crash"
+    assert payload["error"]["point"]["benchmark"] == "go"
+
+    # a healthy benchmark on the same daemon still serves
+    status, payload, _ = client.request(
+        "POST", "/run", {"benchmark": "compress", "mode": "V", "scale": 3_511},
+        timeout=120.0,
+    )
+    assert status == 200
+    assert validate_envelope(payload)["schema"] == SCHEMA_RUN
+
+    # the daemon is alive and the pool recorded the crash recoveries
+    status, payload, _ = client.request("GET", "/status")
+    assert status == 200
+    assert payload["service"]["pool"]["restarts"] >= 1

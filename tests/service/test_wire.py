@@ -1,0 +1,108 @@
+"""Wire-layer parsing and content-hash request identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import wire
+
+
+def _point(**overrides):
+    body = {"benchmark": "compress", "mode": "V", "scale": 2_000}
+    body.update(overrides)
+    return body
+
+
+class TestParsePoint:
+    def test_defaults(self):
+        point = wire.parse_point({"benchmark": "compress"})
+        assert (point.width, point.ports, point.mode) == (4, 1, "V")
+        assert point.block_on_scalar_operand is True
+        assert point.sampling is None
+
+    @pytest.mark.parametrize(
+        "overrides, kind",
+        [
+            ({"benchmark": "nope"}, "benchmark.unknown"),
+            ({"width": 7}, "request.invalid"),
+            ({"ports": 3}, "request.invalid"),
+            ({"mode": "vector"}, "request.invalid"),
+            ({"scale": 0}, "request.invalid"),
+            ({"scale": "big"}, "request.invalid"),
+            ({"block_on_scalar_operand": 1}, "request.invalid"),
+            ({"sampling": [0, 5]}, "request.invalid"),
+            ({"sampling": "dense"}, "request.invalid"),
+            ({"typo_key": 1}, "request.invalid"),
+        ],
+    )
+    def test_rejections_carry_error_kinds(self, overrides, kind):
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_point(_point(**overrides))
+        assert excinfo.value.kind == kind
+
+    def test_non_object_rejected(self):
+        with pytest.raises(wire.WireError):
+            wire.parse_point(["compress"])
+
+
+class TestRequestKey:
+    def test_identical_requests_share_a_key(self):
+        _, key_a = wire.parse_run_request(_point())
+        _, key_b = wire.parse_run_request(_point())
+        assert key_a == key_b
+
+    def test_point_order_is_irrelevant_for_grids(self):
+        a = _point()
+        b = _point(benchmark="li")
+        _, key_ab = wire.parse_grid_request({"points": [a, b]})
+        _, key_ba = wire.parse_grid_request({"points": [b, a]})
+        assert key_ab == key_ba
+
+    def test_any_coordinate_change_changes_the_key(self):
+        _, base = wire.parse_run_request(_point())
+        for overrides in (
+            {"benchmark": "li"},
+            {"mode": "IM"},
+            {"scale": 2_001},
+            {"width": 8},
+            {"ports": 2},
+            {"block_on_scalar_operand": False},
+            {"sampling": [1_000, 10_000]},
+        ):
+            _, other = wire.parse_run_request(_point(**overrides))
+            assert other != base, overrides
+
+    def test_kind_partitions_the_key_space(self):
+        """The same point as a run vs a one-point grid must not coalesce —
+        their response envelopes differ."""
+        _, run_key = wire.parse_run_request(_point())
+        _, grid_key = wire.parse_grid_request({"points": [_point()]})
+        assert run_key != grid_key
+
+    def test_trace_extras_partition_the_key_space(self):
+        _, plain = wire.parse_trace_request(_point())
+        _, limited = wire.parse_trace_request(_point(limit=10))
+        assert plain != limited
+
+
+class TestRequestParsers:
+    def test_grid_needs_points(self):
+        for body in ({}, {"points": []}, {"points": "all"}):
+            with pytest.raises(wire.WireError):
+                wire.parse_grid_request(body)
+
+    def test_figure_unknown_rejected(self):
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_figure_request({"figure": "fig99"})
+        assert excinfo.value.kind == "figure.unknown"
+
+    def test_figure_expands_to_registry_points(self):
+        params, key = wire.parse_figure_request({"figure": "fig14", "scale": 2_000})
+        assert params == {"figure": "fig14", "scale": 2_000, "sampling": None}
+        assert isinstance(key, str) and len(key) == 64
+
+    def test_headline_scale_validated(self):
+        with pytest.raises(wire.WireError):
+            wire.parse_headline_request({"scale": -5})
+        params, _ = wire.parse_headline_request({"scale": 2_000})
+        assert params == {"scale": 2_000, "sampling": None}
