@@ -3,15 +3,27 @@
 A thin shell over the stable :mod:`repro.api` facade.  Commands:
 
 * ``figures [--scale N] [--sampled] [--only figNN ...] [--jobs J]
+  [--backend B] [--nodes N] [--campaign] [--point-budget N]
   [--task-timeout S] [--max-retries N] [--json]`` — regenerate the
   paper's figures; the grid points behind the selected figures are
-  collected up front and fanned out over a fault-tolerant process pool
-  (see :mod:`repro.experiments.parallel` and the *Failure semantics*
-  section of ``docs/PERFORMANCE.md``) — the command exits 1 when any
-  grid point remains failed after retries;
-* ``headline [--scale N] [--sampled] [--jobs J] [--task-timeout S]
-  [--max-retries N] [--json]`` — measure the paper's headline claims,
-  same batched execution and failure semantics;
+  collected up front and fanned out over a fault-tolerant executor
+  backend — the in-host process pool by default, or ``--backend
+  subprocess`` worker peers with node-loss tolerance (see
+  :mod:`repro.experiments.parallel`, :mod:`repro.experiments.distributed`
+  and ``docs/PERFORMANCE.md`` §5/§6) — the command exits 1 when any
+  grid point remains failed after retries; ``--campaign`` persists a
+  resumable manifest (kill it, then ``resume <id>``);
+* ``headline [--scale N] [--sampled] [--jobs J] [--backend B]
+  [--nodes N] [--task-timeout S] [--max-retries N] [--json]`` —
+  measure the paper's headline claims, same batched execution and
+  failure semantics;
+* ``resume CAMPAIGN_ID [--backend B] [--nodes N] [--jobs J]
+  [--point-budget N] [--json]`` — resume a persisted campaign:
+  done points are recovered from the disk cache, only missing or
+  quarantined points recompute;
+* ``worker --node N --generation G [--heartbeat S]`` — internal: one
+  subprocess-backend peer speaking the framed JSON task protocol on
+  stdin/stdout (spawned by the scheduler, not meant for hand use);
 * ``run <benchmark> [--width W] [--ports P] [--mode M] [--scale N]
   [--sampled] [--json]`` — simulate one benchmark on one configuration;
 * ``trace <benchmark> [--events SPEC] [--limit N] [--output FILE]``
@@ -34,7 +46,7 @@ A thin shell over the stable :mod:`repro.api` facade.  Commands:
   worker pool, request deduplication, async jobs and backpressure
   (:mod:`repro.service`, ``docs/SERVICE.md``);
 * ``cache {info,clear}`` — inspect or drop the persistent result cache
-  (the fuzz corpus is a section of it);
+  (the fuzz corpus and campaign manifests are sections of it);
 * ``list`` — list the available benchmarks.
 
 All JSON output — success or failure — carries the v2 envelope
@@ -146,6 +158,21 @@ def _sampling_from_args(args: argparse.Namespace) -> api.SamplingConfig | None:
     return api.SamplingConfig(window=window, interval=interval)
 
 
+def _backend_from_args(args: argparse.Namespace):
+    """Resolve (backend spec, jobs) from ``--backend``/``--nodes``/``--jobs``.
+
+    ``--nodes`` implies the subprocess backend; with it, the node count
+    wins over ``--jobs`` (which sizes the in-host pool).
+    """
+    backend = getattr(args, "backend", None)
+    nodes = getattr(args, "nodes", None)
+    if nodes is not None and backend is None:
+        backend = "subprocess"
+    if backend == "subprocess":
+        return backend, (nodes or args.jobs)
+    return backend, args.jobs
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     names = args.only or api.figure_names()
     for name in names:
@@ -159,22 +186,47 @@ def cmd_figures(args: argparse.Namespace) -> int:
     points = []
     for name in names:
         points.extend(api.get_figure(name).points(args.scale, sampling))
-    batch = api.grid(
-        points,
-        jobs=args.jobs,
-        sampling=sampling,
-        task_timeout=args.task_timeout,
-        max_retries=args.max_retries,
-    )
-    if not batch.ok:
+    backend, jobs = _backend_from_args(args)
+    outcome = None
+    if args.campaign:
+        # Resumable path: persist a per-point manifest keyed by the
+        # points' content hash; a killed/budgeted invocation leaves a
+        # campaign id behind that ``resume`` picks back up.
+        outcome = api.campaign(
+            points,
+            backend=backend,
+            jobs=jobs,
+            sampling=sampling,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            point_budget=args.point_budget,
+        )
+        print(f"campaign {outcome.campaign_id}", file=sys.stderr)
+        batch_ok = outcome.ok
+        accounting = outcome.accounting
+    else:
+        batch = api.grid(
+            points,
+            jobs=jobs,
+            sampling=sampling,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            backend=backend,
+        )
+        batch_ok = batch.ok
+        accounting = batch.accounting
+    if not batch_ok:
         # Quarantined points leave holes the figure tables cannot paper
         # over; report the failures and exit nonzero instead of raising
         # a KeyError from deep inside a rows() function.
         if args.json:
-            payload = api.wrap_error(api.GridFailureError(batch.accounting).to_error())
+            if outcome is not None:
+                payload = outcome.to_dict()
+            else:
+                payload = api.wrap_error(api.GridFailureError(accounting).to_error())
             print(json.dumps(payload, sort_keys=True))
         else:
-            _print_grid_failures(batch.accounting)
+            _print_grid_failures(accounting)
         return 1
     results = [
         api.figure(name, scale=args.scale, sampling=sampling, prebatched=True)
@@ -185,12 +237,16 @@ def cmd_figures(args: argparse.Namespace) -> int:
             "schema": api.SCHEMA_FIGURE_SET,
             "ok": True,
             "error": None,
-            "grid": batch.to_dict()["accounting"],
+            "grid": (outcome.to_dict() if outcome is not None else batch.to_dict())[
+                "accounting"
+            ],
             "figures": {result.spec.name: result.to_dict() for result in results},
         }
+        if outcome is not None:
+            payload["campaign"] = outcome.to_dict()
         print(json.dumps(payload, sort_keys=True))
         return 0
-    print(batch.summary())
+    print(accounting.summary())
     for result in results:
         _print_rows(result.spec.title, result.rows)
     return 0
@@ -198,13 +254,15 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 def cmd_headline(args: argparse.Namespace) -> int:
     sampling = _sampling_from_args(args)
+    backend, jobs = _backend_from_args(args)
     try:
         claims = api.headline(
             scale=args.scale,
             sampling=sampling,
-            jobs=args.jobs,
+            jobs=jobs,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
+            backend=backend,
         )
     except api.GridFailureError as exc:
         if args.json:
@@ -226,6 +284,44 @@ def cmd_headline(args: argparse.Namespace) -> int:
     rows = [[key, f"{value:+.1%}"] for key, value in claims.items()]
     print(format_table(["claim", "measured"], rows))
     return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    backend, jobs = _backend_from_args(args)
+    try:
+        outcome = api.campaign_resume(
+            args.campaign_id,
+            backend=backend,
+            jobs=jobs,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            point_budget=args.point_budget,
+        )
+    except KeyError:
+        message = f"unknown campaign {args.campaign_id!r} (see `cache info`)"
+        if args.json:
+            print(json.dumps(api.error_envelope("campaign.unknown", message), sort_keys=True))
+        else:
+            print(message, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(outcome.to_dict(), sort_keys=True))
+    else:
+        print(f"campaign {outcome.campaign_id}", file=sys.stderr)
+        print(outcome.summary())
+        for failure in outcome.accounting.failed:
+            print(f"grid point FAILED: {failure.describe()}", file=sys.stderr)
+    return 0 if outcome.ok else 1
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .experiments.distributed.worker import worker_main
+
+    return worker_main(
+        node=args.node,
+        generation=args.generation,
+        heartbeat=args.heartbeat,
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -371,6 +467,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         request_timeout=args.request_timeout,
         max_retries=args.max_retries,
         warm_benchmarks=tuple(args.warm_benchmarks or ()),
+        backend=args.backend or ("subprocess" if args.nodes else "local"),
+        backend_nodes=args.nodes,
     )
     return serve(config, warm=not args.no_warm)
 
@@ -386,6 +484,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
             ("soa", "soa"),
             ("checkpoints", "checkpoint"),
             ("corpus", "corpus"),
+            ("campaigns", "campaign"),
         )
         for label, key in sections:
             print(
@@ -438,6 +537,26 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="J",
         help="worker processes (default: $REPRO_JOBS or the CPU count)",
+    )
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("local", "subprocess"),
+        default=None,
+        help=(
+            "executor backend: the in-host process pool (local, default) "
+            "or node-loss-tolerant `python -m repro worker` subprocess "
+            "peers (default: $REPRO_BACKEND or local)"
+        ),
+    )
+    parser.add_argument(
+        "--nodes",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="subprocess-backend worker peers (implies --backend subprocess)",
     )
 
 
@@ -498,8 +617,24 @@ def main(argv=None) -> int:
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("--scale", type=int, default=api.EXPERIMENT_SCALE)
     p.add_argument("--only", nargs="*", metavar="FIG", help="subset, e.g. fig14")
+    p.add_argument(
+        "--campaign",
+        action="store_true",
+        help=(
+            "persist a resumable per-point manifest; the campaign id is "
+            "printed to stderr and `resume` continues a killed run"
+        ),
+    )
+    p.add_argument(
+        "--point-budget",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="with --campaign: compute at most N cold points this invocation",
+    )
     _add_sampling_arguments(p)
     _add_jobs_argument(p)
+    _add_backend_arguments(p)
     _add_fault_arguments(p)
     _add_json_argument(p)
     p.set_defaults(fn=cmd_figures)
@@ -508,9 +643,37 @@ def main(argv=None) -> int:
     p.add_argument("--scale", type=int, default=api.EXPERIMENT_SCALE)
     _add_sampling_arguments(p)
     _add_jobs_argument(p)
+    _add_backend_arguments(p)
     _add_fault_arguments(p)
     _add_json_argument(p)
     p.set_defaults(fn=cmd_headline)
+
+    p = sub.add_parser("resume", help="resume a persisted grid campaign by id")
+    p.add_argument("campaign_id", help="content-hash id printed by --campaign")
+    p.add_argument(
+        "--point-budget",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help="compute at most N cold points this invocation",
+    )
+    _add_jobs_argument(p)
+    _add_backend_arguments(p)
+    _add_fault_arguments(p)
+    _add_json_argument(p)
+    p.set_defaults(fn=cmd_resume)
+
+    p = sub.add_parser(
+        "worker",
+        help="internal: subprocess-backend peer (framed JSON on stdin/stdout)",
+    )
+    p.add_argument("--node", type=_nonnegative_int, default=0, metavar="N")
+    p.add_argument("--generation", type=_nonnegative_int, default=0, metavar="G")
+    p.add_argument(
+        "--heartbeat", type=_positive_float, default=1.0, metavar="SECONDS",
+        help="heartbeat-frame interval",
+    )
+    p.set_defaults(fn=cmd_worker)
 
     p = sub.add_parser("run", help="simulate one benchmark/configuration")
     _add_point_arguments(p)
@@ -642,13 +805,14 @@ def main(argv=None) -> int:
         "--no-warm", action="store_true",
         help="skip worker warm-up (first requests pay imports instead)",
     )
+    _add_backend_arguments(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
     p.add_argument("action", choices=("info", "clear"))
     p.add_argument(
         "--section",
-        choices=("stats", "trace", "soa", "checkpoint", "corpus"),
+        choices=("stats", "trace", "soa", "checkpoint", "corpus", "campaign"),
         default=None,
         help="clear only one cache section (default: all)",
     )

@@ -11,7 +11,11 @@ Entry points:
 * :func:`simulate` — one benchmark on one configuration →
   :class:`RunResult`;
 * :func:`grid` — a batch of :class:`GridPoint` coordinates fanned out
-  over the process pool → :class:`GridReport`;
+  over the process pool (or any executor backend) → :class:`GridReport`;
+* :func:`campaign` / :func:`campaign_resume` — resumable sweeps: the
+  same batch with a persisted per-point manifest
+  (:mod:`repro.experiments.distributed`), so a killed run restarts and
+  recomputes only missing/quarantined points;
 * :func:`trace` — one instrumented, cache-bypassing run capturing typed
   events → :class:`TraceReport` (JSONL-exportable);
 * :func:`figure` / :func:`headline` — the paper's evaluation artifacts,
@@ -35,7 +39,8 @@ implemented in :mod:`repro.schemas` and re-exported here);
 :func:`validate_envelope` is the shared check the service, the CLI and
 the test suites all run, and :func:`error_dict` /
 :func:`error_envelope` build the error shapes.  Registered schemas:
-``repro.run/v1``, ``repro.grid/v1``, ``repro.trace/v1``,
+``repro.run/v1``, ``repro.grid/v1``, ``repro.campaign/v1``,
+``repro.trace/v1``,
 ``repro.figure/v1`` (one figure), ``repro.figure.set/v1`` (the CLI's
 multi-figure payload — ``repro.figures/v1`` is a deprecated alias the
 validator accepts for one release), ``repro.headline/v1``,
@@ -55,6 +60,14 @@ from .experiments import diskcache
 from .experiments import figures as _figures
 from .experiments import parallel as _parallel
 from .experiments import runner as _runner
+from .experiments.distributed import (
+    CampaignResult,
+    ExecutorBackend,
+    LocalPoolBackend,
+    SubprocessBackend,
+    resolve_backend,
+)
+from .experiments.distributed import campaign as _campaign
 from .experiments.parallel import GridPoint, WorkerPool
 from .experiments.registry import FIGURES, FigureSpec, figure_names, get_figure
 from .observe import (
@@ -75,6 +88,7 @@ from .schemas import (
     DEPRECATED_ALIASES,
     EnvelopeError,
     SCHEMAS,
+    SCHEMA_CAMPAIGN,
     SCHEMA_ERROR,
     SCHEMA_FIGURE,
     SCHEMA_FIGURE_SET,
@@ -272,6 +286,35 @@ def simulate(
 # ---------------------------------------------------------------------------
 
 
+def _accounting_dict(accounting: _parallel.GridReport) -> Dict:
+    """The wire form of fabric accounting.
+
+    Distributed-backend fields (``nodes_lost`` / ``points_reassigned`` /
+    ``resume_skipped`` / ``nodes``) appear only when nonzero/nonempty,
+    so pool-path payloads stay bit-identical to the pre-backend era.
+    """
+    out = {
+        "requested": accounting.requested,
+        "unique": accounting.unique,
+        "memo_hits": accounting.memo_hits,
+        "disk_hits": accounting.disk_hits,
+        "simulated": accounting.simulated,
+        "jobs": accounting.jobs,
+        "retries": accounting.retries,
+        "pool_restarts": accounting.pool_restarts,
+        "degraded_serial": accounting.degraded_serial,
+    }
+    if accounting.nodes_lost:
+        out["nodes_lost"] = accounting.nodes_lost
+    if accounting.points_reassigned:
+        out["points_reassigned"] = accounting.points_reassigned
+    if accounting.resume_skipped:
+        out["resume_skipped"] = accounting.resume_skipped
+    if accounting.nodes:
+        out["nodes"] = accounting.nodes
+    return out
+
+
 @dataclass
 class GridReport:
     """A batch of grid results plus where-they-came-from accounting."""
@@ -305,17 +348,7 @@ class GridReport:
             "schema": SCHEMA_GRID,
             "ok": not failed,
             "error": GridFailureError(self.accounting).to_error() if failed else None,
-            "accounting": {
-                "requested": self.accounting.requested,
-                "unique": self.accounting.unique,
-                "memo_hits": self.accounting.memo_hits,
-                "disk_hits": self.accounting.disk_hits,
-                "simulated": self.accounting.simulated,
-                "jobs": self.accounting.jobs,
-                "retries": self.accounting.retries,
-                "pool_restarts": self.accounting.pool_restarts,
-                "degraded_serial": self.accounting.degraded_serial,
-            },
+            "accounting": _accounting_dict(self.accounting),
             "failures": [failure.to_dict() for failure in self.accounting.failed],
             "runs": [run.to_dict() for run in self.runs],
             "metrics": self.metrics.to_dict() if self.metrics else None,
@@ -331,6 +364,7 @@ def grid(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     pool: Optional[_parallel.WorkerPool] = None,
+    backend=None,
 ) -> GridReport:
     """Compute a batch of grid points, fanning misses over a process pool.
 
@@ -349,6 +383,13 @@ def grid(
     backoff and then quarantined into ``report.failures`` while the rest
     of the batch completes — check ``report.ok`` before trusting a full
     grid.  See :class:`repro.experiments.parallel.FaultPolicy`.
+
+    ``backend`` swaps the execution layer: an
+    :class:`ExecutorBackend` instance (caller-owned), or a name —
+    ``"local"`` (the process pool) / ``"subprocess"`` (``python -m repro
+    worker`` peers with node-level fault tolerance; ``jobs`` then counts
+    *nodes*).  See :mod:`repro.experiments.distributed` and
+    docs/PERFORMANCE.md §6.
     """
     sampling = _coerce_sampling(sampling)
     normalized: List[GridPoint] = []
@@ -367,6 +408,7 @@ def grid(
         task_timeout=task_timeout,
         max_retries=max_retries,
         pool=pool,
+        backend=backend,
     )
     runs = [
         RunResult(
@@ -382,6 +424,140 @@ def grid(
         for point, stats in results.items()
     ]
     return GridReport(runs=runs, accounting=accounting, metrics=registry)
+
+
+# ---------------------------------------------------------------------------
+# campaign (resumable sweeps; see repro.experiments.distributed)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CampaignOutcome:
+    """One campaign invocation, envelope-ready (``repro.campaign/v1``)."""
+
+    result: CampaignResult
+    metrics: Optional[MetricsRegistry] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    @property
+    def campaign_id(self) -> str:
+        return self.result.campaign_id
+
+    @property
+    def accounting(self) -> _parallel.GridReport:
+        return self.result.report
+
+    def stats(self) -> Dict[GridPoint, SimStats]:
+        return dict(self.result.results)
+
+    def summary(self) -> str:
+        return self.result.summary()
+
+    def to_dict(self) -> Dict:
+        report = self.result.report
+        manifest = self.result.manifest
+        error = None
+        if report.failed:
+            error = error_dict(
+                "campaign.failure",
+                f"{len(report.failed)} point(s) failed after retries "
+                f"(resume retries them with a fresh budget)",
+                retriable=True,
+                failures=[failure.to_dict() for failure in report.failed],
+            )
+        elif not self.ok:
+            error = error_dict(
+                "campaign.incomplete",
+                "campaign has pending points (budgeted slice; resume to finish)",
+                retriable=True,
+            )
+        return {
+            "schema": SCHEMA_CAMPAIGN,
+            "ok": self.ok,
+            "error": error,
+            "campaign": {
+                "id": self.result.campaign_id,
+                "created": manifest.created,
+                "updated": manifest.updated,
+                **manifest.counts(),
+            },
+            "resume": {
+                "skipped": report.resume_skipped,
+                "recomputed": report.simulated,
+            },
+            "accounting": _accounting_dict(report),
+            "failures": [failure.to_dict() for failure in report.failed],
+            "metrics": self.metrics.to_dict() if self.metrics else None,
+        }
+
+
+def campaign(
+    points: Iterable[Union[GridPoint, Sequence]],
+    *,
+    backend=None,
+    jobs: Optional[int] = None,
+    sampling: SamplingLike = None,
+    metrics: bool = False,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    point_budget: Optional[int] = None,
+) -> CampaignOutcome:
+    """Run — or transparently resume — the resumable campaign on ``points``.
+
+    A campaign is a grid batch with a persisted per-point manifest keyed
+    by the content hash of the points themselves: run it again (same
+    points, any order) after a kill and only missing/quarantined points
+    recompute — previously-done ones are recovered from the disk cache
+    and counted in ``accounting.resume_skipped`` / the
+    ``dist.resume_skipped`` metric.  ``point_budget`` bounds this
+    invocation to that many fresh points (huge sweeps in slices).  See
+    :mod:`repro.experiments.distributed.campaign`.
+    """
+    sampling = _coerce_sampling(sampling)
+    normalized: List[GridPoint] = []
+    for point in points:
+        point = GridPoint(*point)
+        if sampling is not None:
+            point = point._replace(sampling=sampling.key)
+        normalized.append(point)
+    registry = MetricsRegistry() if metrics else None
+    result = _campaign.run_campaign(
+        normalized,
+        backend=backend,
+        jobs=jobs,
+        metrics=registry,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        point_budget=point_budget,
+    )
+    return CampaignOutcome(result=result, metrics=registry)
+
+
+def campaign_resume(
+    campaign_id: str,
+    *,
+    backend=None,
+    jobs: Optional[int] = None,
+    metrics: bool = False,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    point_budget: Optional[int] = None,
+) -> CampaignOutcome:
+    """Resume a persisted campaign by id (raises ``KeyError`` if unknown)."""
+    registry = MetricsRegistry() if metrics else None
+    result = _campaign.resume_campaign(
+        campaign_id,
+        backend=backend,
+        jobs=jobs,
+        metrics=registry,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        point_budget=point_budget,
+    )
+    return CampaignOutcome(result=result, metrics=registry)
 
 
 # ---------------------------------------------------------------------------
@@ -539,6 +715,7 @@ def figure(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     pool: Optional[_parallel.WorkerPool] = None,
+    backend=None,
 ) -> FigureResult:
     """Regenerate one figure of the paper (see :data:`FIGURES` for names).
 
@@ -557,7 +734,7 @@ def figure(
             report = grid(
                 points, jobs=jobs,
                 task_timeout=task_timeout, max_retries=max_retries,
-                pool=pool,
+                pool=pool, backend=backend,
             )
             if not report.ok:
                 raise GridFailureError(report.accounting)
@@ -572,6 +749,7 @@ def headline(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     pool: Optional[_parallel.WorkerPool] = None,
+    backend=None,
 ) -> Dict[str, float]:
     """Measure the paper's headline claims (§1/§4/§6) on this machine.
 
@@ -582,7 +760,7 @@ def headline(
     report = grid(
         _figures.headline_points(scale, sampling), jobs=jobs,
         task_timeout=task_timeout, max_retries=max_retries,
-        pool=pool,
+        pool=pool, backend=backend,
     )
     if not report.ok:
         raise GridFailureError(report.accounting)
@@ -647,19 +825,24 @@ def fuzz_replay(path) -> Dict:
 
 __all__ = [
     "ALL_BENCHMARKS",
+    "CampaignOutcome",
     "CampaignReport",
+    "CampaignResult",
     "DEPRECATED_ALIASES",
     "EXPERIMENT_SCALE",
     "EnvelopeError",
+    "ExecutorBackend",
     "FIGURES",
     "FigureResult",
     "FigureSpec",
     "GridFailureError",
     "GridPoint",
     "GridReport",
+    "LocalPoolBackend",
     "OracleConfig",
     "RunResult",
     "SCHEMAS",
+    "SCHEMA_CAMPAIGN",
     "SCHEMA_ERROR",
     "SCHEMA_FIGURE",
     "SCHEMA_FIGURE_SET",
@@ -677,8 +860,11 @@ __all__ = [
     "SCHEMA_SERVICE_STATUS",
     "SCHEMA_TRACE",
     "SamplingConfig",
+    "SubprocessBackend",
     "TraceReport",
     "WorkerPool",
+    "campaign",
+    "campaign_resume",
     "error_dict",
     "error_envelope",
     "figure",
@@ -688,6 +874,7 @@ __all__ = [
     "get_figure",
     "grid",
     "headline",
+    "resolve_backend",
     "schema_names",
     "simulate",
     "trace",

@@ -164,7 +164,11 @@ class TaskFailure:
     """One grid point that could not be computed within its retry budget."""
 
     point: GridPoint
-    kind: str       #: "error" | "timeout" | "crash"
+    #: "error" | "timeout" | "crash" for in-host failures; distributed
+    #: backends add the node-level kinds "node.lost" (the point's host
+    #: peers kept dying under it) and "node.unavailable" (every node
+    #: slot quarantined while the point was still queued).
+    kind: str
     error: str      #: last failure's description
     attempts: int   #: attempts charged before quarantine
 
@@ -212,6 +216,11 @@ class GridReport:
     pool_restarts: int = 0
     degraded_serial: bool = False
     failed: List[TaskFailure] = field(default_factory=list)
+    #: distributed-backend accounting (all zero/empty on the pool path).
+    nodes_lost: int = 0
+    points_reassigned: int = 0
+    resume_skipped: int = 0
+    nodes: List[Dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -228,6 +237,12 @@ class GridReport:
             text += f", {self.retries} retries"
         if self.pool_restarts:
             text += f", {self.pool_restarts} pool restarts"
+        if self.nodes_lost:
+            text += f", {self.nodes_lost} nodes lost"
+        if self.points_reassigned:
+            text += f", {self.points_reassigned} points reassigned"
+        if self.resume_skipped:
+            text += f", {self.resume_skipped} resumed from cache"
         if self.degraded_serial:
             text += ", degraded to serial"
         if self.failed:
@@ -385,6 +400,7 @@ def run_grid(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     pool: Optional[WorkerPool] = None,
+    backend=None,
 ) -> Dict[GridPoint, SimStats]:
     """Compute every grid point, fanning misses out over a process pool.
 
@@ -415,12 +431,33 @@ def run_grid(
     *single* cold point runs in a worker process — the isolation the
     service daemon relies on so a poisoned request can never take down
     the parent — where the default path would run it serially in-process.
+
+    ``backend`` swaps the execution layer for cache-cold points
+    entirely: an :class:`repro.experiments.distributed.ExecutorBackend`
+    instance (caller-owned — survives across calls), or a backend name
+    (``"local"`` / ``"subprocess"``, resolved and closed per call).
+    The memo/disk layers above are backend-agnostic, so a warm cache
+    never engages the backend at all.
     """
     points = list(points)
     if report is None:
         report = GridReport()
     report.requested = len(points)
-    jobs = pool.jobs if pool is not None else resolve_jobs(jobs)
+    backend_obj = owned_backend = None
+    if backend is not None:
+        from .distributed.backends import ExecutorBackend, resolve_backend
+
+        if isinstance(backend, ExecutorBackend):
+            backend_obj = backend
+        else:
+            backend_obj = owned_backend = resolve_backend(
+                backend, jobs=jobs, pool=pool
+            )
+        jobs = backend_obj.jobs
+    elif pool is not None:
+        jobs = pool.jobs
+    else:
+        jobs = resolve_jobs(jobs)
     report.jobs = jobs
     policy = FaultPolicy.resolve(task_timeout, max_retries)
 
@@ -475,7 +512,21 @@ def run_grid(
             still_cold.append(point)
 
     if still_cold:
-        computed = _execute(still_cold, jobs, want_metrics, policy, report, pool)
+        try:
+            if backend_obj is not None:
+                computed = backend_obj.execute(
+                    still_cold,
+                    policy=policy,
+                    report=report,
+                    want_metrics=want_metrics,
+                )
+            else:
+                computed = _execute(
+                    still_cold, jobs, want_metrics, policy, report, pool
+                )
+        finally:
+            if owned_backend is not None:
+                owned_backend.close()
         for point, payload, simulated, point_metrics in computed:
             stats = diskcache.stats_from_dict(payload)
             runner.prime_memo(tuple(point), stats)
@@ -488,6 +539,9 @@ def run_grid(
                 # The worker-side registry already includes the sim.* shim.
                 metrics.merge(point_metrics)
 
+    if owned_backend is not None:
+        owned_backend.close()  # idempotent; also closed on the error path
+
     if want_metrics:
         # Fabric-health counters: only materialized when nonzero, so a
         # clean run's registry stays bit-identical to the pre-fault era.
@@ -497,6 +551,10 @@ def run_grid(
             metrics.counter("grid.tasks_failed").inc(len(report.failed))
         if report.pool_restarts:
             metrics.counter("grid.pool_restarts").inc(report.pool_restarts)
+        if report.nodes_lost:
+            metrics.counter("dist.nodes_lost").inc(report.nodes_lost)
+        if report.points_reassigned:
+            metrics.counter("dist.points_reassigned").inc(report.points_reassigned)
 
     return results
 

@@ -58,6 +58,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 SCHEMA_RUN = "repro.run/v1"
 SCHEMA_GRID = "repro.grid/v1"
+SCHEMA_CAMPAIGN = "repro.campaign/v1"
 SCHEMA_TRACE = "repro.trace/v1"
 SCHEMA_FIGURE = "repro.figure/v1"
 SCHEMA_FIGURE_SET = "repro.figure.set/v1"
@@ -204,6 +205,7 @@ def _check_error_schema(payload: Dict) -> None:
 SCHEMAS: Dict[str, Dict[int, Validator]] = {
     "repro.run": {1: _required_keys("point", "stats", "derived")},
     "repro.grid": {1: _required_keys("accounting", "failures", "runs")},
+    "repro.campaign": {1: _required_keys("campaign", "resume", "accounting", "failures")},
     "repro.trace": {1: _required_keys("run", "capture", "crosscheck", "events")},
     "repro.figure": {1: _required_keys("figure", "rows")},
     "repro.figure.set": {1: _required_keys("grid", "figures")},
@@ -279,6 +281,7 @@ __all__ = [
     "ERROR_REQUIRED_KEYS",
     "EnvelopeError",
     "SCHEMAS",
+    "SCHEMA_CAMPAIGN",
     "SCHEMA_ERROR",
     "SCHEMA_FIGURE",
     "SCHEMA_FIGURE_SET",

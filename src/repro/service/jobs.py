@@ -25,6 +25,7 @@ front.
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import threading
 import time
@@ -63,6 +64,10 @@ class Job:
         self.result: Optional[Dict] = None   #: terminal api envelope
         self.error: Optional[Dict] = None    #: repro.error/v1 object when failed
         self.dedup_hits = 0
+        #: live executor-maintained progress (e.g. the distributed
+        #: backend's per-node table); shown on ``/jobs/<id>`` while the
+        #: job runs, alongside the event stream.
+        self.progress: Dict = {}
         self.bus = TraceBus(capacity=4096)
         self._seq = itertools.count()
 
@@ -103,6 +108,8 @@ class Job:
             "dedup_hits": self.dedup_hits,
             "events": self.bus.emitted,
         }
+        if self.progress:
+            job["progress"] = dict(self.progress)
         if include_result:
             job["result"] = self.result
         return {
@@ -239,7 +246,7 @@ class JobManager:
                 self._changed.notify_all()
             self._notify and self._notify(job)
             try:
-                envelope = self._executors[job.kind](job.params)
+                envelope = self._call_executor(job)
                 failed = not envelope.get("ok", False)
                 error = envelope.get("error") if failed else None
                 if failed and error is None:
@@ -262,6 +269,27 @@ class JobManager:
                 job.emit("job.failed" if failed else "job.done")
                 self._changed.notify_all()
             self._notify and self._notify(job)
+
+    def _call_executor(self, job: Job) -> Dict:
+        """Invoke the job's executor; pass the job too when it takes it.
+
+        Executors come in two arities: the classic ``params -> envelope``
+        (tests swap these in freely) and ``(params, job) -> envelope``
+        for ones that want to publish live progress onto the job.
+        """
+        executor = self._executors[job.kind]
+        try:
+            parameters = inspect.signature(executor).parameters.values()
+        except (TypeError, ValueError):
+            return executor(job.params)
+        positional = [
+            p for p in parameters
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+        variadic = any(p.kind == p.VAR_POSITIONAL for p in parameters)
+        if variadic or len(positional) >= 2:
+            return executor(job.params, job)
+        return executor(job.params)
 
     def _evict_locked(self) -> None:
         """Drop the oldest *terminal* jobs past the retention bound."""

@@ -1,0 +1,172 @@
+"""The node-loss fault-suite: kill peers, corrupt frames, drop heartbeats.
+
+PR 5's contract — one bad actor must never cost the rest of the grid —
+lifted to the node level and scripted through the deterministic injector
+(:mod:`repro.verify.faults`).  Worker peers inherit ``REPRO_FAULTS``
+through the environment, so every scenario arms the env var (not the
+in-process list) and matches on ``node``/``generation``: a ``times``
+counter is per *process* and would re-fire in every respawned peer,
+whereas generation 0 of a slot exists exactly once.
+
+Both halves are asserted each time: the grid completes through the
+surviving/respawned peers with results bit-identical to a fault-free
+serial run, and the loss is reported precisely (``nodes_lost``,
+``points_reassigned``, per-slot strikes/quarantine, failure kinds).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.distributed import SubprocessBackend
+from repro.experiments.parallel import GridPoint, GridReport, run_grid
+from repro.verify import faults
+
+SCALE = 1_500
+
+POINTS = [
+    GridPoint("li", 4, 1, "V", SCALE),
+    GridPoint("li", 4, 1, "noIM", SCALE),
+    GridPoint("compress", 4, 1, "V", SCALE),
+    GridPoint("compress", 4, 1, "noIM", SCALE),
+    GridPoint("go", 4, 1, "V", SCALE),
+    GridPoint("go", 4, 1, "noIM", SCALE),
+]
+POISONED = POINTS[0]
+HEALTHY = POINTS[1:]
+
+
+@pytest.fixture
+def fresh_state(tmp_path, monkeypatch):
+    """Cold memo, private enabled disk cache, nothing armed."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_NO_DISK_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_TASK_TIMEOUT", raising=False)
+    monkeypatch.delenv("REPRO_MAX_RETRIES", raising=False)
+    runner.clear_memo()
+    faults.clear()
+    yield tmp_path
+    faults.clear()
+    runner.clear_memo()
+
+
+def _fingerprints(results):
+    return {p: dataclasses.asdict(s) for p, s in results.items()}
+
+
+def _reference(tmp_path, monkeypatch, points=POINTS):
+    """Fault-free serial fingerprints, computed in a throwaway cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "reference-cache"))
+    reference = _fingerprints(run_grid(points, jobs=1))
+    runner.clear_memo()
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return reference
+
+
+def _arm(monkeypatch, specs) -> None:
+    """Arm specs via the env var so subprocess peers inherit them."""
+    monkeypatch.setenv("REPRO_FAULTS", json.dumps(specs))
+
+
+def test_killed_worker_mid_grid_is_reassigned(fresh_state, monkeypatch):
+    """Node 0's first peer dies on task receipt; the grid still completes
+    bit-identical via reassignment and a respawned generation."""
+    reference = _reference(fresh_state, monkeypatch)
+    _arm(monkeypatch, [
+        {"site": "node.crash", "action": "crash", "match": {"node": 0, "generation": 0}},
+    ])
+    report = GridReport()
+    with SubprocessBackend(nodes=2) as backend:
+        results = run_grid(POINTS, backend=backend, report=report)
+    assert report.ok, report.failed
+    assert report.nodes_lost == 1
+    assert report.points_reassigned == 1
+    assert report.retries == 1
+    node0 = report.nodes[0]
+    assert node0["generations"] == 2
+    assert node0["strikes"] == 1
+    assert not node0["quarantined"]
+    assert _fingerprints(results) == reference
+
+
+def test_poisoned_point_quarantines_without_costing_the_grid(
+    fresh_state, monkeypatch
+):
+    """A point that kills every host it lands on exhausts its retries and
+    quarantines with kind ``node.lost``; the healthy points survive."""
+    reference = _reference(fresh_state, monkeypatch)
+    _arm(monkeypatch, [
+        {
+            "site": "node.crash",
+            "action": "crash",
+            "match": {"benchmark": "li", "mode": "V"},
+        },
+    ])
+    report = GridReport()
+    with SubprocessBackend(nodes=2) as backend:
+        results = run_grid(POINTS, backend=backend, report=report)
+    assert not report.ok
+    assert [failure.point for failure in report.failed] == [POISONED]
+    failure = report.failed[0]
+    assert failure.kind == "node.lost"
+    assert failure.attempts == 3  # default max_retries=2, every attempt fatal
+    assert report.nodes_lost == 3
+    assert set(results) == set(HEALTHY)
+    assert _fingerprints(results) == {
+        p: s for p, s in reference.items() if p != POISONED
+    }
+
+
+def test_corrupt_transport_frame_recycles_the_node(fresh_state, monkeypatch):
+    """An undecodable result frame is a dead peer, not a wrong result:
+    the point is recomputed elsewhere and the grid stays bit-identical."""
+    reference = _reference(fresh_state, monkeypatch)
+    _arm(monkeypatch, [
+        {
+            "site": "transport.garbage",
+            "action": "garbage",
+            "match": {"node": 0, "generation": 0, "type": "result"},
+        },
+    ])
+    report = GridReport()
+    with SubprocessBackend(nodes=2) as backend:
+        results = run_grid(POINTS, backend=backend, report=report)
+    assert report.ok, report.failed
+    assert report.nodes_lost == 1
+    assert report.points_reassigned == 1
+    assert _fingerprints(results) == reference
+
+
+def test_dropped_heartbeats_with_wedged_task_hit_the_liveness_clock(
+    fresh_state, monkeypatch
+):
+    """A peer whose heartbeat thread dies *and* whose task wedges goes
+    silent; frame silence past ``heartbeat_timeout`` declares it lost."""
+    reference = _reference(fresh_state, monkeypatch)
+    _arm(monkeypatch, [
+        {
+            "site": "node.heartbeat",
+            "action": "raise",
+            "match": {"node": 0, "generation": 0},
+        },
+        {
+            "site": "node.crash",
+            "action": "hang",
+            "match": {"node": 0, "generation": 0},
+            "delay": 30.0,
+        },
+    ])
+    report = GridReport()
+    with SubprocessBackend(
+        nodes=2, heartbeat_interval=0.2, heartbeat_timeout=2.0
+    ) as backend:
+        results = run_grid(POINTS, backend=backend, report=report)
+    assert report.ok, report.failed
+    assert report.nodes_lost == 1
+    assert report.points_reassigned == 1
+    assert _fingerprints(results) == reference

@@ -27,6 +27,9 @@ from repro.schemas import (
 MINIMAL = {
     "repro.run/v1": envelope("repro.run/v1", point={}, stats={}, derived={}),
     "repro.grid/v1": envelope("repro.grid/v1", accounting={}, failures=[], runs=[]),
+    "repro.campaign/v1": envelope(
+        "repro.campaign/v1", campaign={}, resume={}, accounting={}, failures=[]
+    ),
     "repro.trace/v1": envelope(
         "repro.trace/v1", run={}, capture={}, crosscheck={}, events=[]
     ),
