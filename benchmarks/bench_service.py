@@ -8,7 +8,12 @@ long-running daemon is *for*:
   requests/second for synchronous ``POST /run`` traffic at N ∈ {1, 4, 16}
   concurrent clients, measured in steady state (one warm-up pass first,
   so the numbers price the serving layer — HTTP, routing, dedup, memo —
-  not the simulation, which ``bench_perf.py`` already tracks);
+  not the simulation, which ``bench_perf.py`` already tracks).  Every
+  level is measured **twice**: once opening a fresh TCP connection per
+  request (``levels``) and once with each client reusing a single
+  HTTP/1.1 keep-alive connection (``keepalive``) — the reused-connection
+  numbers are what the daemon's ``protocol_version = "HTTP/1.1"``
+  switch buys, and the guard holds them to it;
 * **dedup** — the thundering-herd demo: 16 concurrent *identical* grid
   submissions must coalesce onto exactly one job / one underlying grid
   computation (≥ 15 dedup hits);
@@ -24,7 +29,10 @@ scale and fail if fresh p99 latency exceeds the recorded p99 by more
 than ``--tolerance`` (default 4.0 — i.e. 5x; latency on shared CI hosts
 is noisy and the guard is against order-of-magnitude regressions, not
 jitter), or if any envelope fails validation, or if the dedup demo does
-not coalesce.
+not coalesce, or if keep-alive stopped paying: at the highest measured
+concurrency the reused-connection p50 must not exceed the
+per-request-connection p50 (connection setup is pure overhead, so
+keep-alive ≤ per-request is a structural invariant, not a tuning).
 
 Run::
 
@@ -74,29 +82,63 @@ POINTS = (
 
 
 class _Client:
-    """One benchmark client: counts envelope failures, records latency."""
+    """One benchmark client: counts envelope failures, records latency.
 
-    def __init__(self, host: str, port: int) -> None:
+    ``reuse=True`` keeps one HTTP/1.1 connection open across requests
+    (the keep-alive path the daemon advertises); the default opens and
+    closes a fresh TCP connection per request.  A reused connection the
+    server dropped (idle reap, error path) is transparently reopened and
+    counted in ``reconnects`` — the retry is timed too, because that is
+    the latency a real keep-alive client experiences.
+    """
+
+    def __init__(self, host: str, port: int, reuse: bool = False) -> None:
         self.host = host
         self.port = port
+        self.reuse = reuse
         self.latencies_ms: list = []
         self.envelope_failures = 0
         self.errors = 0
+        self.reconnects = 0
+        self._conn = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _exchange(self, conn, method: str, path: str, body):
+        conn.request(
+            method, path,
+            json.dumps(body) if body is not None else None,
+            {"Content-Type": "application/json"} if body is not None else {},
+        )
+        response = conn.getresponse()
+        return response, json.loads(response.read())
 
     def request(self, method: str, path: str, body=None, timed: bool = False):
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
-        try:
-            t0 = time.perf_counter()
-            conn.request(
-                method, path,
-                json.dumps(body) if body is not None else None,
-                {"Content-Type": "application/json"} if body is not None else {},
-            )
-            response = conn.getresponse()
-            payload = json.loads(response.read())
-            elapsed = time.perf_counter() - t0
-        finally:
-            conn.close()
+        t0 = time.perf_counter()
+        if not self.reuse:
+            conn = http.client.HTTPConnection(self.host, self.port, timeout=120)
+            try:
+                response, payload = self._exchange(conn, method, path, body)
+            finally:
+                conn.close()
+        else:
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=120
+                )
+            try:
+                response, payload = self._exchange(self._conn, method, path, body)
+            except (http.client.HTTPException, OSError):
+                self.close()
+                self.reconnects += 1
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=120
+                )
+                response, payload = self._exchange(self._conn, method, path, body)
+        elapsed = time.perf_counter() - t0
         if timed:
             self.latencies_ms.append(elapsed * 1000.0)
         try:
@@ -135,15 +177,22 @@ def _run_body(point: dict, scale: int) -> dict:
 
 
 def measure_level(
-    host: str, port: int, clients: int, requests: int, scale: int
+    host: str, port: int, clients: int, requests: int, scale: int,
+    reuse: bool = False,
 ) -> tuple:
-    """One concurrency level: returns (summary dict, client list)."""
-    pool = [_Client(host, port) for _ in range(clients)]
+    """One concurrency level: returns (summary dict, client list).
+
+    ``reuse`` selects the connection discipline: False opens a fresh TCP
+    connection per request, True drives every request of one client over
+    a single persistent keep-alive connection.
+    """
+    pool = [_Client(host, port, reuse=reuse) for _ in range(clients)]
 
     def drive(client: _Client) -> None:
         for i in range(requests):
             body = _run_body(POINTS[i % len(POINTS)], scale)
             client.request("POST", "/run", body, timed=True)
+        client.close()
 
     t0 = time.perf_counter()
     threads = [threading.Thread(target=drive, args=(c,)) for c in pool]
@@ -158,11 +207,14 @@ def measure_level(
     summary = {
         "clients": clients,
         "requests": total,
+        "connection": "keep-alive" if reuse else "per-request",
         "p50_ms": round(_quantile(latencies, 0.50), 2),
         "p99_ms": round(_quantile(latencies, 0.99), 2),
         "throughput_rps": round(total / wall, 2),
         "errors": sum(c.errors for c in pool),
     }
+    if reuse:
+        summary["reconnects"] = sum(c.reconnects for c in pool)
     return summary, pool
 
 
@@ -226,16 +278,21 @@ def run_benchmark(
             warm.request("POST", "/run", _run_body(point, scale))
         envelope_failures = warm.envelope_failures
         levels_out = []
+        keepalive_out = []
         for clients in levels:
-            summary, pool = measure_level(host, port, clients, requests, scale)
-            envelope_failures += sum(c.envelope_failures for c in pool)
-            levels_out.append(summary)
-            print(
-                f"N={clients:>2}: p50 {summary['p50_ms']:.1f} ms, "
-                f"p99 {summary['p99_ms']:.1f} ms, "
-                f"{summary['throughput_rps']:.1f} req/s",
-                file=sys.stderr,
-            )
+            for reuse, sink in ((False, levels_out), (True, keepalive_out)):
+                summary, pool = measure_level(
+                    host, port, clients, requests, scale, reuse=reuse
+                )
+                envelope_failures += sum(c.envelope_failures for c in pool)
+                sink.append(summary)
+                print(
+                    f"N={clients:>2} [{summary['connection']:>11}]: "
+                    f"p50 {summary['p50_ms']:.1f} ms, "
+                    f"p99 {summary['p99_ms']:.1f} ms, "
+                    f"{summary['throughput_rps']:.1f} req/s",
+                    file=sys.stderr,
+                )
         dedup = dedup_demo(host, port, scale)
         envelope_failures += dedup.pop("envelope_failures")
         return {
@@ -243,6 +300,7 @@ def run_benchmark(
             "scale": scale,
             "requests_per_client": requests,
             "levels": levels_out,
+            "keepalive": keepalive_out,
             "dedup": dedup,
             "envelope_failures": envelope_failures,
         }
@@ -274,8 +332,10 @@ def merge_results(section: dict) -> dict:
 def check_regression(
     tolerance: float, scale: int, requests: int, levels: tuple
 ) -> int:
-    """CI guard: fresh p99 within (1 + tolerance) of recorded, envelopes
-    clean, and the dedup herd still coalesces."""
+    """CI guard: fresh p99 within (1 + tolerance) of recorded (both
+    connection disciplines), envelopes clean, the dedup herd still
+    coalesces, and keep-alive still beats (or ties) per-request p50 at
+    the highest measured concurrency."""
     recorded = json.loads(RESULT_PATH.read_text()).get("service")
     if not recorded:
         print("FAIL: BENCH_perf.json has no service section to guard against")
@@ -283,18 +343,44 @@ def check_regression(
     fresh = run_benchmark(scale=scale, requests=requests, levels=levels)
     print(json.dumps(fresh, indent=2))
     failed = False
-    recorded_p99 = {entry["clients"]: entry["p99_ms"] for entry in recorded["levels"]}
-    for entry in fresh["levels"]:
-        ceiling = recorded_p99.get(entry["clients"])
-        if ceiling is None:
-            continue
-        bound = ceiling * (1.0 + tolerance)
-        status = "OK" if entry["p99_ms"] <= bound else "FAIL"
-        if status == "FAIL":
-            failed = True
+    for section in ("levels", "keepalive"):
+        recorded_p99 = {
+            entry["clients"]: entry["p99_ms"]
+            for entry in recorded.get(section, [])
+        }
+        for entry in fresh[section]:
+            ceiling = recorded_p99.get(entry["clients"])
+            if ceiling is None:
+                continue
+            bound = ceiling * (1.0 + tolerance)
+            status = "OK" if entry["p99_ms"] <= bound else "FAIL"
+            if status == "FAIL":
+                failed = True
+            print(
+                f"N={entry['clients']} [{entry['connection']}]: fresh p99 "
+                f"{entry['p99_ms']:.1f} ms vs recorded {ceiling:.1f} ms "
+                f"(bound {bound:.1f}) {status}"
+            )
+    # Keep-alive must pay for itself where connection churn hurts most:
+    # at the top concurrency level, reusing a connection cannot have a
+    # worse median than paying TCP setup per request.
+    top = max(entry["clients"] for entry in fresh["levels"])
+    per_request_p50 = next(
+        e["p50_ms"] for e in fresh["levels"] if e["clients"] == top
+    )
+    keepalive_p50 = next(
+        e["p50_ms"] for e in fresh["keepalive"] if e["clients"] == top
+    )
+    if keepalive_p50 > per_request_p50:
         print(
-            f"N={entry['clients']}: fresh p99 {entry['p99_ms']:.1f} ms vs "
-            f"recorded {ceiling:.1f} ms (bound {bound:.1f}) {status}"
+            f"FAIL: keep-alive p50 {keepalive_p50:.2f} ms exceeds "
+            f"per-request p50 {per_request_p50:.2f} ms at N={top}"
+        )
+        failed = True
+    else:
+        print(
+            f"keep-alive p50 {keepalive_p50:.2f} ms <= per-request p50 "
+            f"{per_request_p50:.2f} ms at N={top} OK"
         )
     if fresh["envelope_failures"]:
         print(f"FAIL: {fresh['envelope_failures']} envelope validation failure(s)")
@@ -362,10 +448,14 @@ def main(argv=None) -> int:
 
 
 def test_service_bench_smoke():
-    """Smoke: a tiny load run completes with clean envelopes and dedup."""
+    """Smoke: a tiny load run completes with clean envelopes and dedup,
+    measuring both connection disciplines."""
     section = run_benchmark(scale=2_000, requests=2, levels=(1, 2))
     assert section["envelope_failures"] == 0
     assert all(level["errors"] == 0 for level in section["levels"])
+    assert all(level["errors"] == 0 for level in section["keepalive"])
+    assert [e["clients"] for e in section["keepalive"]] == [1, 2]
+    assert all(e["connection"] == "keep-alive" for e in section["keepalive"])
     assert section["dedup"]["distinct_jobs"] == 1
     assert section["dedup"]["dedup_hits"] >= section["dedup"]["herd"] - 1
 

@@ -72,6 +72,7 @@ from . import (
     workloads,
 )
 from .api import (
+    GridCancelled,
     GridFailureError,
     GridPoint,
     GridReport,
@@ -98,6 +99,7 @@ __all__ = [
     "pipeline",
     "verify",
     "workloads",
+    "GridCancelled",
     "GridFailureError",
     "GridPoint",
     "GridReport",

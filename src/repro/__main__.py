@@ -470,7 +470,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend or ("subprocess" if args.nodes else "local"),
         backend_nodes=args.nodes,
     )
-    return serve(config, warm=not args.no_warm)
+    try:
+        return serve(config, warm=not args.no_warm)
+    except ValueError as exc:  # e.g. REPRO_JOBS=0 — a usage error, not a crash
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_cache(args: argparse.Namespace) -> int:

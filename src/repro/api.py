@@ -170,6 +170,21 @@ class GridFailureError(RuntimeError):
         )
 
 
+class GridCancelled(RuntimeError):
+    """A figure/headline grid was stopped by its ``cancel`` signal.
+
+    Figures and headline claims need *every* point; a cancelled batch is
+    incomplete by design, so the derived rows cannot be computed and the
+    cancellation is raised instead (the partial accounting rides on
+    ``.accounting``).  Plain :func:`grid` calls do **not** raise — they
+    return the partial report with ``accounting.cancelled`` set.
+    """
+
+    def __init__(self, accounting: _parallel.GridReport) -> None:
+        self.accounting = accounting
+        super().__init__("grid cancelled before completion")
+
+
 # ---------------------------------------------------------------------------
 # simulate
 # ---------------------------------------------------------------------------
@@ -304,6 +319,8 @@ def _accounting_dict(accounting: _parallel.GridReport) -> Dict:
         "pool_restarts": accounting.pool_restarts,
         "degraded_serial": accounting.degraded_serial,
     }
+    if accounting.cancelled:
+        out["cancelled"] = True
     if accounting.nodes_lost:
         out["nodes_lost"] = accounting.nodes_lost
     if accounting.points_reassigned:
@@ -365,6 +382,8 @@ def grid(
     max_retries: Optional[int] = None,
     pool: Optional[_parallel.WorkerPool] = None,
     backend=None,
+    on_result=None,
+    cancel=None,
 ) -> GridReport:
     """Compute a batch of grid points, fanning misses over a process pool.
 
@@ -390,6 +409,12 @@ def grid(
     worker`` peers with node-level fault tolerance; ``jobs`` then counts
     *nodes*).  See :mod:`repro.experiments.distributed` and
     docs/PERFORMANCE.md §6.
+
+    ``on_result(point, stats_dict)`` streams each point as it completes
+    (cache hits immediately, computed points from inside the fabric);
+    ``cancel`` — anything with ``is_set()`` — stops the batch early with
+    ``report.accounting.cancelled`` set, keeping (and caching) whatever
+    completed first.  See :func:`repro.experiments.parallel.run_grid`.
     """
     sampling = _coerce_sampling(sampling)
     normalized: List[GridPoint] = []
@@ -409,6 +434,8 @@ def grid(
         max_retries=max_retries,
         pool=pool,
         backend=backend,
+        on_result=on_result,
+        cancel=cancel,
     )
     runs = [
         RunResult(
@@ -716,6 +743,8 @@ def figure(
     max_retries: Optional[int] = None,
     pool: Optional[_parallel.WorkerPool] = None,
     backend=None,
+    on_result=None,
+    cancel=None,
 ) -> FigureResult:
     """Regenerate one figure of the paper (see :data:`FIGURES` for names).
 
@@ -735,9 +764,12 @@ def figure(
                 points, jobs=jobs,
                 task_timeout=task_timeout, max_retries=max_retries,
                 pool=pool, backend=backend,
+                on_result=on_result, cancel=cancel,
             )
             if not report.ok:
                 raise GridFailureError(report.accounting)
+            if report.accounting.cancelled:
+                raise GridCancelled(report.accounting)
     return FigureResult(spec=spec, rows=spec.rows(scale, sampling), grid=report)
 
 
@@ -750,6 +782,8 @@ def headline(
     max_retries: Optional[int] = None,
     pool: Optional[_parallel.WorkerPool] = None,
     backend=None,
+    on_result=None,
+    cancel=None,
 ) -> Dict[str, float]:
     """Measure the paper's headline claims (§1/§4/§6) on this machine.
 
@@ -761,9 +795,12 @@ def headline(
         _figures.headline_points(scale, sampling), jobs=jobs,
         task_timeout=task_timeout, max_retries=max_retries,
         pool=pool, backend=backend,
+        on_result=on_result, cancel=cancel,
     )
     if not report.ok:
         raise GridFailureError(report.accounting)
+    if report.accounting.cancelled:
+        raise GridCancelled(report.accounting)
     return _figures.headline_claims(scale, sampling)
 
 
@@ -835,6 +872,7 @@ __all__ = [
     "FIGURES",
     "FigureResult",
     "FigureSpec",
+    "GridCancelled",
     "GridFailureError",
     "GridPoint",
     "GridReport",

@@ -57,6 +57,8 @@ class ExecutorBackend:
         policy: "parallel.FaultPolicy",
         report: "parallel.GridReport",
         want_metrics: bool = False,
+        on_result=None,
+        cancel=None,
     ) -> List[tuple]:
         raise NotImplementedError
 
@@ -83,9 +85,13 @@ class LocalPoolBackend(ExecutorBackend):
         self.pool = pool
         self.jobs = pool.jobs if pool is not None else parallel.resolve_jobs(jobs)
 
-    def execute(self, points, *, policy, report, want_metrics=False):
+    def execute(
+        self, points, *, policy, report, want_metrics=False,
+        on_result=None, cancel=None,
+    ):
         return parallel._execute(
-            list(points), self.jobs, want_metrics, policy, report, self.pool
+            list(points), self.jobs, want_metrics, policy, report, self.pool,
+            on_result=on_result, cancel=cancel,
         )
 
 
@@ -130,9 +136,13 @@ class SubprocessBackend(ExecutorBackend):
             progress=progress,
         )
 
-    def execute(self, points, *, policy, report, want_metrics=False):
+    def execute(
+        self, points, *, policy, report, want_metrics=False,
+        on_result=None, cancel=None,
+    ):
         return self.scheduler.execute(
-            list(points), policy=policy, report=report, want_metrics=want_metrics
+            list(points), policy=policy, report=report,
+            want_metrics=want_metrics, on_result=on_result, cancel=cancel,
         )
 
     def close(self) -> None:

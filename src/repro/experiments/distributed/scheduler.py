@@ -255,8 +255,19 @@ class DistributedScheduler:
         policy: FaultPolicy,
         report: GridReport,
         want_metrics: bool = False,
+        on_result=None,
+        cancel=None,
     ) -> List[tuple]:
-        """Run one batch; mirrors ``parallel._execute``'s outcome shape."""
+        """Run one batch; mirrors ``parallel._execute``'s outcome shape.
+
+        ``on_result(point, stats_dict)`` streams each result as its frame
+        arrives; ``cancel`` (checked once per scheduler tick) stops the
+        batch early — in-flight and pending points are abandoned, every
+        peer is torn down via :meth:`close`, and the outcomes gathered so
+        far are returned with ``report.cancelled`` set.  Workers persist
+        each result to the shared disk cache before framing it back, so
+        even abandoned in-flight points may survive for the next batch.
+        """
         if self._closed:
             raise RuntimeError("scheduler already closed")
         pending = deque(points)
@@ -319,6 +330,21 @@ class DistributedScheduler:
 
         tick = max(0.05, min(self.heartbeat_interval, 0.25))
         while pending or tasks:
+            if cancel is not None and cancel.is_set():
+                # Cooperative stop: abandon pending + in-flight points and
+                # tear the node fabric down.  Completed outcomes are kept
+                # (and were already persisted worker-side).
+                report.cancelled = True
+                self._emit(
+                    "cancelled",
+                    pending=len(pending),
+                    inflight=len(tasks),
+                    completed=len(outcomes),
+                )
+                pending.clear()
+                tasks.clear()
+                self.close()
+                break
             alive = live_slots()
             if not alive:
                 # Every slot is quarantined: fail whatever is left.
@@ -393,6 +419,11 @@ class DistributedScheduler:
                                 frame.get("metrics"),
                             )
                         )
+                        if on_result is not None:
+                            try:
+                                on_result(point, frame["stats"])
+                            except Exception:
+                                pass  # a broken observer must not fail the batch
                         self._emit(
                             "point.done", point=point.name, node=slot.index
                         )

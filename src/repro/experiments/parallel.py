@@ -215,6 +215,9 @@ class GridReport:
     retries: int = 0
     pool_restarts: int = 0
     degraded_serial: bool = False
+    #: a cooperative cancel signal stopped the batch early; the results
+    #: gathered before the stop are still merged (and cached).
+    cancelled: bool = False
     failed: List[TaskFailure] = field(default_factory=list)
     #: distributed-backend accounting (all zero/empty on the pool path).
     nodes_lost: int = 0
@@ -245,6 +248,8 @@ class GridReport:
             text += f", {self.resume_skipped} resumed from cache"
         if self.degraded_serial:
             text += ", degraded to serial"
+        if self.cancelled:
+            text += ", CANCELLED early"
         if self.failed:
             text += f" — {len(self.failed)} FAILED"
         return text
@@ -401,6 +406,8 @@ def run_grid(
     max_retries: Optional[int] = None,
     pool: Optional[WorkerPool] = None,
     backend=None,
+    on_result=None,
+    cancel=None,
 ) -> Dict[GridPoint, SimStats]:
     """Compute every grid point, fanning misses out over a process pool.
 
@@ -438,6 +445,20 @@ def run_grid(
     (``"local"`` / ``"subprocess"``, resolved and closed per call).
     The memo/disk layers above are backend-agnostic, so a warm cache
     never engages the backend at all.
+
+    ``on_result``, when given, is called as ``on_result(point,
+    stats_dict)`` for every point **as it completes** — cache hits fire
+    immediately, computed points fire from inside the execution engine —
+    so a caller (the service's per-point result stream) sees a large
+    grid incrementally.  Observer exceptions are swallowed: a broken
+    stream must never fail the grid.
+
+    ``cancel``, when given, is a cooperative stop signal (anything with
+    ``is_set()``, e.g. ``threading.Event``): once set, no further points
+    are dispatched, queued pool futures are cancelled, distributed peers
+    are torn down, and the batch returns early with
+    ``report.cancelled = True``.  Points that completed before the stop
+    are merged and cached as usual — a later identical grid reuses them.
     """
     points = list(points)
     if report is None:
@@ -480,6 +501,10 @@ def run_grid(
             report.memo_hits += 1
             if want_metrics:
                 record_sim_stats(metrics, results[point])
+            if on_result is not None:
+                _notify_result(
+                    on_result, point, diskcache.stats_to_dict(results[point])
+                )
         else:
             todo.append(point)
 
@@ -508,21 +533,34 @@ def run_grid(
                 if persisted:
                     metrics.merge(persisted)
                 record_sim_stats(metrics, cached)
+            if on_result is not None:
+                _notify_result(on_result, point, diskcache.stats_to_dict(cached))
         else:
             still_cold.append(point)
+
+    if cancel is not None and cancel.is_set():
+        report.cancelled = True
+        still_cold = []
 
     if still_cold:
         try:
             if backend_obj is not None:
+                extra = {}
+                if on_result is not None:
+                    extra["on_result"] = on_result
+                if cancel is not None:
+                    extra["cancel"] = cancel
                 computed = backend_obj.execute(
                     still_cold,
                     policy=policy,
                     report=report,
                     want_metrics=want_metrics,
+                    **extra,
                 )
             else:
                 computed = _execute(
-                    still_cold, jobs, want_metrics, policy, report, pool
+                    still_cold, jobs, want_metrics, policy, report, pool,
+                    on_result=on_result, cancel=cancel,
                 )
         finally:
             if owned_backend is not None:
@@ -568,6 +606,24 @@ class _PoolUnavailable(Exception):
     """Process pools cannot be created in this environment at all."""
 
 
+#: how often a cancellable pool wait wakes up to poll the stop signal.
+_CANCEL_TICK = 0.2
+
+
+def _notify_result(on_result, point, payload) -> None:
+    """Deliver one completed point to the streaming observer (if any).
+
+    Observer exceptions are swallowed: a broken result stream must never
+    fail — or even retry — the grid computation it is watching.
+    """
+    if on_result is None:
+        return
+    try:
+        on_result(point, payload)
+    except Exception:
+        pass
+
+
 def _execute(
     points: List[GridPoint],
     jobs: int,
@@ -575,6 +631,8 @@ def _execute(
     policy: FaultPolicy,
     report: GridReport,
     pool: Optional[WorkerPool] = None,
+    on_result=None,
+    cancel=None,
 ) -> List[tuple]:
     """Compute ``points`` with per-task isolation; failures land in
     ``report.failed``, successes are returned as worker-outcome tuples."""
@@ -587,7 +645,8 @@ def _execute(
     if jobs > 1 and (len(points) > 1 or pool is not None):
         try:
             _execute_pool(
-                remaining, jobs, work, policy, attempts, outcomes, report, pool
+                remaining, jobs, work, policy, attempts, outcomes, report, pool,
+                on_result=on_result, cancel=cancel,
             )
             return outcomes
         except _PoolUnavailable:
@@ -600,20 +659,30 @@ def _execute(
                 point for point in points
                 if point not in finished and point not in quarantined
             ]
-    _execute_serial(remaining, work, policy, attempts, outcomes, report)
+    _execute_serial(
+        remaining, work, policy, attempts, outcomes, report,
+        on_result=on_result, cancel=cancel,
+    )
     return outcomes
 
 
-def _execute_serial(points, work, policy, attempts, outcomes, report) -> None:
+def _execute_serial(
+    points, work, policy, attempts, outcomes, report, on_result=None, cancel=None
+) -> None:
     """In-process execution with the same retry/quarantine semantics.
 
     No hang containment here — there is no process boundary to kill —
     so ``task_timeout`` only applies on the pool path.
     """
     for point in points:
+        if cancel is not None and cancel.is_set():
+            report.cancelled = True
+            return
         while True:
             try:
-                outcomes.append(work(point))
+                outcome = work(point)
+                outcomes.append(outcome)
+                _notify_result(on_result, point, outcome[1])
                 break
             except Exception as exc:
                 attempts[point] += 1
@@ -630,7 +699,8 @@ def _execute_serial(points, work, policy, attempts, outcomes, report) -> None:
 
 
 def _execute_pool(
-    pending, jobs, work, policy, attempts, outcomes, report, shared=None
+    pending, jobs, work, policy, attempts, outcomes, report, shared=None,
+    on_result=None, cancel=None,
 ) -> None:
     """Pooled execution: per-task futures, broken-pool salvage, isolation.
 
@@ -643,6 +713,9 @@ def _execute_pool(
     """
     breaks = 0
     while pending:
+        if cancel is not None and cancel.is_set():
+            report.cancelled = True
+            return
         isolate = breaks >= _ISOLATE_AFTER_BREAKS
         batch = pending[:1] if isolate else list(pending)
         rest = pending[1:] if isolate else []
@@ -658,7 +731,7 @@ def _execute_pool(
         try:
             requeue, broke, quarantined_crash = _drive_pool(
                 pool, batch, work, policy, attempts, outcomes, report,
-                charge_broken=isolate,
+                charge_broken=isolate, on_result=on_result, cancel=cancel,
             )
         except (OSError, ImportError) as exc:
             # The pool machinery itself is unusable (semaphores, pipes).
@@ -667,6 +740,17 @@ def _execute_pool(
             else:
                 shared.discard(pool)
             raise _PoolUnavailable(str(exc)) from exc
+        if cancel is not None and cancel.is_set():
+            # Cooperative stop: queued futures were cancelled inside
+            # _drive_pool; anything still running is abandoned with its
+            # pool (a dedicated pool is torn down, a shared one discarded
+            # so the stragglers cannot occupy the next request's workers).
+            report.cancelled = True
+            if owned:
+                _abort_pool(pool)
+            else:
+                shared.discard(pool)
+            return
         if broke:
             if owned:
                 _abort_pool(pool)
@@ -686,7 +770,8 @@ def _execute_pool(
 
 
 def _drive_pool(
-    pool, batch, work, policy, attempts, outcomes, report, charge_broken=False
+    pool, batch, work, policy, attempts, outcomes, report, charge_broken=False,
+    on_result=None, cancel=None,
 ):
     """Drive one pool over ``batch``; returns ``(requeue, broke, quarantined_crash)``.
 
@@ -696,6 +781,11 @@ def _drive_pool(
     the pool broken — in isolation mode (``charge_broken``) the single
     in-flight point is charged as a ``crash`` attempt, otherwise the
     unfinished points are requeued uncharged for the next pool.
+
+    With ``cancel`` given, the wait loop wakes every ``_CANCEL_TICK``
+    seconds to poll the stop signal; on cancellation, futures that have
+    not started yet are cancelled (skipped, never charged), the rest are
+    left to the caller's pool teardown, and nothing is requeued.
     """
     futures: Dict = {}
     requeue: List = []
@@ -723,16 +813,35 @@ def _drive_pool(
         return False
 
     for point in batch:
+        if cancel is not None and cancel.is_set():
+            break  # not-yet-submitted points are simply skipped
         if broke:
             requeue.append(point)
         else:
             submit(point)
 
+    wait_timeout = policy.task_timeout
+    if cancel is not None:
+        wait_timeout = (
+            _CANCEL_TICK if wait_timeout is None
+            else min(wait_timeout, _CANCEL_TICK)
+        )
+    last_progress = time.monotonic()
     while futures:
+        if cancel is not None and cancel.is_set():
+            for future in [f for f in list(futures) if f.cancel()]:
+                futures.pop(future)  # never started: skipped, not charged
+            # The rest are already running in workers; the caller tears
+            # the pool down around them.  Nothing is requeued.
+            return [], False, quarantined_crash
         done, _ = wait(
-            list(futures), timeout=policy.task_timeout, return_when=FIRST_COMPLETED
+            list(futures), timeout=wait_timeout, return_when=FIRST_COMPLETED
         )
         if not done:
+            if policy.task_timeout is None or (
+                time.monotonic() - last_progress < policy.task_timeout
+            ):
+                continue  # just a cancel-poll tick, not a stall
             # Stall: nothing finished within task_timeout.  Futures that
             # cancel were still queued — requeue them uncharged; the rest
             # are running in (possibly wedged) workers — charge them.
@@ -747,6 +856,7 @@ def _drive_pool(
             futures.clear()
             broke = True  # wedged workers: the pool must be killed
             break
+        last_progress = time.monotonic()
         for future in done:
             point = futures.pop(future)
             try:
@@ -771,6 +881,7 @@ def _drive_pool(
                         submit(point)
             else:
                 outcomes.append(outcome)
+                _notify_result(on_result, point, outcome[1])
     return requeue, broke, quarantined_crash
 
 

@@ -69,7 +69,10 @@ SCHEMA_FUZZ_REPRO = "repro.fuzz.repro/v1"
 SCHEMA_FUZZ_REPLAY = "repro.fuzz.replay/v1"
 SCHEMA_FUZZ_CORPUS = "repro.fuzz.corpus/v1"
 SCHEMA_ERROR = "repro.error/v1"
-SCHEMA_JOB = "repro.service.job/v1"
+#: v2 added the terminal ``cancelled`` job state (``DELETE /jobs/<id>``);
+#: v1 payloads (no such state) are still accepted by the validator.
+SCHEMA_JOB = "repro.service.job/v2"
+SCHEMA_JOB_V1 = "repro.service.job/v1"
 SCHEMA_SERVICE_STATUS = "repro.service.status/v1"
 SCHEMA_SERVICE_METRICS = "repro.service.metrics/v1"
 SCHEMA_SERVICE_EVENT = "repro.service.event/v1"
@@ -200,6 +203,26 @@ def _check_error_schema(payload: Dict) -> None:
         raise EnvelopeError(f"{SCHEMA_ERROR} envelopes must carry an error object")
 
 
+def _check_job_schema(*states: str) -> Validator:
+    """A job-envelope validator pinning the legal ``job.state`` values.
+
+    This is what the version bump *means*: v1 knows four states, v2 adds
+    ``cancelled`` — a v1 payload claiming ``cancelled`` is malformed.
+    """
+    require = _required_keys("job")
+
+    def check(payload: Dict) -> None:
+        require(payload)
+        job = payload.get("job")
+        if isinstance(job, dict) and "state" in job and job["state"] not in states:
+            raise EnvelopeError(
+                f"{payload['schema']}: unknown job state {job['state']!r} "
+                f"(legal: {states})"
+            )
+
+    return check
+
+
 #: the registry: unversioned name -> version -> validator.  Adding a
 #: schema here (and nowhere else) is what makes it a legal wire payload.
 SCHEMAS: Dict[str, Dict[int, Validator]] = {
@@ -216,7 +239,10 @@ SCHEMAS: Dict[str, Dict[int, Validator]] = {
     "repro.fuzz.replay": {1: _required_keys("artifact", "matches", "recorded", "replayed")},
     "repro.fuzz.corpus": {1: _required_keys("root", "entries", "coverage_pairs")},
     "repro.error": {1: _check_error_schema},
-    "repro.service.job": {1: _required_keys("job")},
+    "repro.service.job": {
+        1: _check_job_schema("queued", "running", "done", "failed"),
+        2: _check_job_schema("queued", "running", "done", "failed", "cancelled"),
+    },
     "repro.service.status": {1: _required_keys("service")},
     "repro.service.metrics": {1: _required_keys("metrics", "latency")},
     "repro.service.event": {1: _required_keys("event")},
@@ -293,6 +319,7 @@ __all__ = [
     "SCHEMA_GRID",
     "SCHEMA_HEADLINE",
     "SCHEMA_JOB",
+    "SCHEMA_JOB_V1",
     "SCHEMA_RUN",
     "SCHEMA_SERVICE_EVENT",
     "SCHEMA_SERVICE_METRICS",

@@ -14,32 +14,43 @@ Endpoints (see ``docs/SERVICE.md`` for wire examples):
 ``/metrics``          GET     ``repro.service.metrics/v1`` — counters + p50/p99
 ``/run``              POST    synchronous single point -> ``repro.run/v1``
 ``/trace``            POST    synchronous instrumented run -> ``repro.trace/v1``
-``/grid``             POST    async job -> ``202`` ``repro.service.job/v1``
-``/figure``           POST    async job -> ``202`` ``repro.service.job/v1``
-``/headline``         POST    async job -> ``202`` ``repro.service.job/v1``
-``/jobs/<id>``        GET     poll one job -> ``repro.service.job/v1``
-``/jobs/<id>/events`` GET     NDJSON progress stream (``repro.service.event/v1``)
+``/grid``             POST    async job -> ``202`` ``repro.service.job/v2``
+``/figure``           POST    async job -> ``202`` ``repro.service.job/v2``
+``/headline``         POST    async job -> ``202`` ``repro.service.job/v2``
+``/jobs/<id>``        GET     poll one job -> ``repro.service.job/v2``
+``/jobs/<id>/events`` GET     NDJSON progress stream (``repro.service.event/v1``;
+                              ``?results=1`` includes ``point.result`` payloads)
+``/jobs/<id>``        DELETE  cancel a queued/running job -> ``repro.service.job/v2``
 ====================  ======  ====================================================
+
+Connections are **HTTP/1.1 keep-alive**: every JSON response carries
+``Content-Length``, so one client connection serves many requests (the
+latency win is measured by ``benchmarks/bench_service.py``).  The NDJSON
+event stream is the one exception — unbounded, so it answers
+``Connection: close``.
 
 Every body is a v2 envelope; non-2xx bodies are ``repro.error/v1``.
 Saturation answers ``503`` + ``Retry-After`` (sync concurrency past
-``sync_limit``, job queue past ``queue_limit``); a request that outlives
+``sync_limit``, job queue past ``queue_limit``) — the header value comes
+from the saturated layer itself, not a constant; a request that outlives
 ``request_timeout`` answers ``504`` with ``retriable: true``.
 """
 
 from __future__ import annotations
 
 import json
-import os
 import sys
 import threading
 import time
+import urllib.parse
 from concurrent.futures import TimeoutError as FutureTimeout
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
 from .. import api
+from ..experiments import diskcache
+from ..experiments.parallel import resolve_jobs
 from ..observe import MetricsRegistry
 from ..schemas import (
     SCHEMA_HEADLINE,
@@ -51,7 +62,7 @@ from ..schemas import (
 )
 from . import wire
 from .dedup import InflightRegistry
-from .jobs import JobManager, JobQueueFull
+from .jobs import JobCancelled, JobManager, JobQueueFull
 
 
 def _default_jobs() -> int:
@@ -59,12 +70,11 @@ def _default_jobs() -> int:
 
     The floor matters: with one worker a crash-fault retry has no healthy
     process to salvage onto, and a single slow request would serialize the
-    whole daemon.
+    whole daemon.  ``REPRO_JOBS=0`` or negative is a usage error and
+    raises ``ValueError`` — the same contract as every other consumer of
+    the variable — not a silent reinterpretation as 2.
     """
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        return max(2, int(env))
-    return max(2, os.cpu_count() or 1)
+    return max(2, resolve_jobs(None))
 
 
 @dataclass
@@ -208,6 +218,7 @@ class SimulationService:
                     f"more than {self.config.sync_limit} synchronous "
                     "requests in flight",
                     retriable=True,
+                    retry_after=self._saturation_retry_after(),
                 ),
                 503,
             )
@@ -228,6 +239,16 @@ class SimulationService:
         self.inflight.resolve(key, future, result)
         return result
 
+    def _saturation_retry_after(self) -> float:
+        """A saturation-derived ``Retry-After`` hint for sync-slot 503s.
+
+        Draining one sync slot takes roughly one median request, so the
+        observed p50 latency is the honest advice — floored at 1s (the
+        header is integer-seconds anyway, and a cold histogram reads 0).
+        """
+        p50 = self.metrics.histogram("service.latency_ms").quantile(0.5) or 0.0
+        return max(1.0, round(p50 / 1000.0, 3))
+
     # -- async job submission ---------------------------------------------
 
     _PARSERS = {
@@ -246,12 +267,37 @@ class SimulationService:
                 error_envelope(
                     "saturated", str(exc), retriable=True,
                     queue_limit=exc.limit,
+                    retry_after=exc.retry_after,
                 ),
                 503,
             )
         if deduped:
             self.metrics.counter("service.dedup_hits").inc()
         return job.to_dict(include_result=False), 202
+
+    def cancel_job(self, job_id: str) -> Tuple[Dict, int]:
+        """``DELETE /jobs/<id>``: cancel a queued or running job.
+
+        A queued job answers ``200`` already terminal ``cancelled``; a
+        running one answers ``202`` (the cancel signal is set; the job
+        lands in ``cancelled`` once the grid fabric unwinds).  Cancelling
+        an already-terminal job is a ``409`` conflict, an unknown id a
+        ``404``.
+        """
+        job, outcome = self.jobs.cancel(job_id)
+        if outcome == "unknown":
+            return error_envelope("job.unknown", f"no job {job_id!r}"), 404
+        if outcome == "terminal":
+            return (
+                error_envelope(
+                    "job.terminal",
+                    f"job {job_id} is already {job.state}; nothing to cancel",
+                ),
+                409,
+            )
+        return job.to_dict(include_result=False), (
+            200 if outcome == "cancelled" else 202
+        )
 
     # -- job executors (run on JobManager threads) -------------------------
 
@@ -295,6 +341,43 @@ class SimulationService:
 
         return hook
 
+    def _job_results(self, job):
+        """Per-point streaming hook: every completed grid point lands on
+        the job bus as a ``point.result`` event carrying the point's full
+        ``repro.run/v1`` envelope — cache hits immediately, computed
+        points as their worker/peer finishes — so
+        ``GET /jobs/<id>/events?results=1`` consumes a big grid
+        incrementally instead of polling for one terminal blob."""
+        if job is None:
+            return None
+
+        def hook(point, stats_dict) -> None:
+            result = api.RunResult(
+                benchmark=point.name,
+                width=point.width,
+                ports=point.ports,
+                mode=point.mode,
+                scale=point.scale,
+                block_on_scalar_operand=point.block_on_scalar_operand,
+                sampling=point.sampling,
+                stats=diskcache.stats_from_dict(stats_dict),
+            ).to_dict()
+            job.emit("point.result", result=result)
+
+        return hook
+
+    @staticmethod
+    def _job_cancel(job):
+        return job.cancel_event if job is not None else None
+
+    @staticmethod
+    def _check_cancelled(job, cancelled: bool = False) -> None:
+        """Land a cancel that the grid observed (or that raced the finish
+        line) as :class:`JobCancelled` — the worker loop's signal to move
+        the job to terminal ``cancelled``."""
+        if cancelled or (job is not None and job.cancel_event.is_set()):
+            raise JobCancelled()
+
     def _grid_report(self, points, job=None):
         backend = self._make_backend(job)
         try:
@@ -303,12 +386,16 @@ class SimulationService:
                 backend=backend,
                 task_timeout=self.config.request_timeout,
                 max_retries=self.config.max_retries,
+                on_result=self._job_results(job),
+                cancel=self._job_cancel(job),
             )
         finally:
             backend.close()
 
     def _execute_grid(self, params: Dict, job=None) -> Dict:
-        return self._grid_report(params["points"], job).to_dict()
+        report = self._grid_report(params["points"], job)
+        self._check_cancelled(job, report.accounting.cancelled)
+        return report.to_dict()
 
     def _execute_figure(self, params: Dict, job=None) -> Dict:
         backend = self._make_backend(job)
@@ -320,11 +407,17 @@ class SimulationService:
                 backend=backend,
                 task_timeout=self.config.request_timeout,
                 max_retries=self.config.max_retries,
+                on_result=self._job_results(job),
+                cancel=self._job_cancel(job),
             )
+        except api.GridCancelled:
+            raise JobCancelled()
         except api.GridFailureError as exc:
+            self._check_cancelled(job)
             return wrap_error(exc.to_error())
         finally:
             backend.close()
+        self._check_cancelled(job)
         return result.to_dict()
 
     def _execute_headline(self, params: Dict, job=None) -> Dict:
@@ -336,11 +429,17 @@ class SimulationService:
                 backend=backend,
                 task_timeout=self.config.request_timeout,
                 max_retries=self.config.max_retries,
+                on_result=self._job_results(job),
+                cancel=self._job_cancel(job),
             )
+        except api.GridCancelled:
+            raise JobCancelled()
         except api.GridFailureError as exc:
+            self._check_cancelled(job)
             return wrap_error(exc.to_error())
         finally:
             backend.close()
+        self._check_cancelled(job)
         return {
             "schema": SCHEMA_HEADLINE,
             "ok": True,
@@ -409,9 +508,32 @@ class SimulationService:
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routing + envelope I/O; all state lives on ``server.service``."""
+    """Routing + envelope I/O; all state lives on ``server.service``.
+
+    ``protocol_version = "HTTP/1.1"`` makes keep-alive the default: the
+    connection thread loops on ``handle_one_request`` until the client
+    closes (or a response explicitly sends ``Connection: close``).  The
+    contract that makes this safe is *framing*: every JSON response
+    carries ``Content-Length``, and every consumed request body is read
+    to its full ``Content-Length`` — including bodies of requests that
+    404 — so the next request on the wire starts exactly where the
+    previous one ended.
+    """
 
     server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    #: idle keep-alive connections are reaped after this many seconds
+    #: (socket timeout; ``handle_one_request`` turns it into a close).
+    timeout = 600
+    #: Nagle + delayed-ACK would stall every response on a *reused*
+    #: connection by ~40ms: with unacked data outstanding, a small
+    #: body write queues behind the headers packet until the client's
+    #: delayed ACK arrives.  TCP_NODELAY plus a buffered ``wfile``
+    #: (headers and body leave in one send — ``handle_one_request``
+    #: flushes per response, the event stream flushes per line) keeps
+    #: keep-alive latency below the per-request path instead of 5x it.
+    disable_nagle_algorithm = True
+    wbufsize = -1
 
     @property
     def service(self) -> SimulationService:
@@ -445,19 +567,40 @@ class _Handler(BaseHTTPRequestHandler):
             raise wire.WireError("request.malformed", "request body must be a JSON object")
         return body
 
+    def _drain_body(self) -> None:
+        """Discard an unconsumed request body (e.g. a POST that 404s).
+
+        Keep-alive framing depends on it: leftover body bytes would be
+        parsed as the next request's start line and poison every later
+        exchange on the connection.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        while length > 0:
+            chunk = self.rfile.read(min(length, 65_536))
+            if not chunk:
+                break
+            length -= len(chunk)
+
     def _dispatch(self, route: str, fn) -> None:
         start = time.monotonic()
         status = 500
         try:
             payload, status = fn()
-            retry = 1.0 if status == 503 else None
+            retry = None
+            if status == 503:
+                # The saturated layer knows how long it needs: the job
+                # queue's own retry_after, or the sync path's p50-derived
+                # hint, ride in the error object.
+                retry = (payload.get("error") or {}).get("retry_after") or 1.0
             self._send_json(status, payload, retry_after=retry)
         except wire.WireError as exc:
             status = 400
             self._send_json(status, error_envelope(exc.kind, str(exc)))
         except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away; nothing left to answer
+            self.close_connection = True
         except Exception as exc:  # the daemon must outlive any request
+            self.close_connection = True  # the response may be half-written
             try:
                 self._send_json(
                     status, error_envelope("internal", f"{type(exc).__name__}: {exc}")
@@ -500,6 +643,7 @@ class _Handler(BaseHTTPRequestHandler):
         }
         fn = routes.get(path)
         if fn is None:
+            self._drain_body()  # keep-alive: never leave body bytes unread
             return self._dispatch(
                 "not_found",
                 lambda: (
@@ -508,6 +652,18 @@ class _Handler(BaseHTTPRequestHandler):
             )
         self._dispatch(path.strip("/"), fn)
 
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        parts = path.split("/")
+        if len(parts) == 3 and parts[1] == "jobs" and parts[2]:
+            return self._dispatch(
+                "jobs.cancel", lambda: self.service.cancel_job(parts[2])
+            )
+        self._dispatch(
+            "not_found",
+            lambda: (error_envelope("http.not_found", f"no route {self.path!r}"), 404),
+        )
+
     # -- jobs --------------------------------------------------------------
 
     def _job_payload(self, job_id: str) -> Tuple[Dict, int]:
@@ -515,11 +671,21 @@ class _Handler(BaseHTTPRequestHandler):
         if job is None:
             return error_envelope("job.unknown", f"no job {job_id!r}"), 404
         envelope = job.to_dict()
+        if job.state == "cancelled":
+            # Client-initiated outcome, not a server failure: the
+            # envelope is not-ok (error kind job.cancelled) but the poll
+            # itself succeeded.
+            return envelope, 200
         return envelope, (200 if envelope["ok"] else 500)
 
     def _stream_events(self, job_id: str) -> None:
         """NDJSON progress stream: one envelope per line, fed from the
-        job's event bus, ending with the terminal job envelope."""
+        job's event bus, ending with the terminal job envelope.
+
+        ``?results=1`` additionally delivers each completed grid point's
+        ``repro.run/v1`` envelope (``point.result`` events); without it
+        they are filtered out so progress-only followers stay cheap.
+        """
         start = time.monotonic()
         service = self.service
         job = service.jobs.get(job_id)
@@ -529,14 +695,19 @@ class _Handler(BaseHTTPRequestHandler):
                 lambda: (error_envelope("job.unknown", f"no job {job_id!r}"), 404),
             )
             return
+        query = urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
+        results = query.get("results", ["0"])[-1].lower() in ("1", "true", "yes")
         status = 200
         try:
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
+            # Unframed stream: Connection: close is the length marker.
             self.send_header("Connection", "close")
             self.end_headers()
             for envelope in service.jobs.follow(
-                job, timeout=service.config.request_timeout
+                job,
+                timeout=service.config.request_timeout,
+                include_results=results,
             ):
                 self.wfile.write(json.dumps(envelope, sort_keys=True).encode() + b"\n")
                 self.wfile.flush()
@@ -544,6 +715,19 @@ class _Handler(BaseHTTPRequestHandler):
             status = 499
         finally:
             service.observe_request("jobs.events", status, time.monotonic() - start)
+
+
+class _Server(ThreadingHTTPServer):
+    """One thread per connection, with a listen backlog sized for bursts.
+
+    The stdlib default backlog of 5 is far below the daemon's admission
+    bounds: a herd of fresh connections (per-request clients, a
+    reconnect storm) would overflow it into kernel SYN retransmits —
+    second-long connect stalls that look like server latency.  Admission
+    control belongs to the sync/queue limits, not to the accept queue.
+    """
+
+    request_queue_size = 128
 
 
 def build_server(
@@ -557,7 +741,7 @@ def build_server(
     ``server.service.shutdown()``).
     """
     config = config or ServiceConfig()
-    server = ThreadingHTTPServer((config.host, config.port), _Handler)
+    server = _Server((config.host, config.port), _Handler)
     server.daemon_threads = True
     server.service = service or SimulationService(config)  # type: ignore[attr-defined]
     return server

@@ -133,10 +133,17 @@ def parse_run_request(body: Dict) -> Tuple[Dict, str]:
 
 
 def parse_trace_request(body: Dict) -> Tuple[Dict, str]:
-    """``POST /trace``: a grid-point object plus capture controls."""
+    """``POST /trace``: a grid-point object plus capture controls.
+
+    The caller's ``body`` is never mutated — dedup retries and error
+    paths re-parse the same dict and must see identical input (the old
+    ``body.pop`` stripped ``events``/``limit``/``capacity`` on first
+    parse, so a second parse silently lost the capture controls).
+    """
     _require(isinstance(body, dict), "request.invalid", "trace request must be an object")
-    extras = {k: body.pop(k, None) for k in ("events", "limit", "capacity")}
-    point = parse_point(body)
+    controls = ("events", "limit", "capacity")
+    extras = {k: body.get(k) for k in controls}
+    point = parse_point({k: v for k, v in body.items() if k not in controls})
     events = extras["events"]
     if events is not None:
         _require(

@@ -59,7 +59,7 @@ class DaemonClient:
         while True:
             status, payload, _ = self.request("GET", f"/jobs/{job_id}")
             assert status in (200, 500), payload
-            if payload["job"]["state"] in ("done", "failed"):
+            if payload["job"]["state"] in ("done", "failed", "cancelled"):
                 return payload
             if time.monotonic() > deadline:
                 raise AssertionError(f"job {job_id} not terminal: {payload}")

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.schemas import (
     SCHEMA_RUN,
     SCHEMA_SERVICE_METRICS,
@@ -19,7 +21,9 @@ def test_status_and_metrics(daemon):
     assert validate_envelope(payload)["schema"] == SCHEMA_SERVICE_STATUS
     service = payload["service"]
     assert service["pool"]["jobs"] >= 2
-    assert service["jobs"] == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+    assert service["jobs"] == {
+        "queued": 0, "running": 0, "done": 0, "failed": 0, "cancelled": 0,
+    }
     assert SCHEMA_RUN in service["schemas"]
 
     status, payload, _ = client.request("GET", "/metrics")
@@ -28,6 +32,23 @@ def test_status_and_metrics(daemon):
     # the /status request above has already been observed
     assert payload["metrics"]["service.requests"]["data"] >= 1
     assert payload["latency"]["count"] >= 1
+
+
+def test_zero_repro_jobs_is_rejected(monkeypatch):
+    """``REPRO_JOBS=0`` (or negative) is a usage error everywhere since
+    PR 5 — the daemon must raise, not silently reinterpret it as 2."""
+    from repro.service.server import _default_jobs
+
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    with pytest.raises(ValueError, match="positive integer"):
+        _default_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    with pytest.raises(ValueError, match="positive integer"):
+        _default_jobs()
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert _default_jobs() == 3
+    monkeypatch.setenv("REPRO_JOBS", "1")
+    assert _default_jobs() == 2  # the 2-worker floor still applies
 
 
 def test_sync_run_round_trip(daemon):

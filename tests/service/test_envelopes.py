@@ -55,6 +55,9 @@ MINIMAL = {
     ),
     "repro.error/v1": error_envelope("kind", "message"),
     "repro.service.job/v1": envelope("repro.service.job/v1", job={}),
+    "repro.service.job/v2": envelope(
+        "repro.service.job/v2", job={"state": "cancelled"}
+    ),
     "repro.service.status/v1": envelope("repro.service.status/v1", service={}),
     "repro.service.metrics/v1": envelope(
         "repro.service.metrics/v1", metrics={}, latency={}
@@ -106,6 +109,20 @@ def test_error_object_shape_enforced():
         validate_envelope(wrap_error(bad))
     # wrap_error and error_envelope agree on the standalone error shape
     assert wrap_error(error_dict("k", "m")) == error_envelope("k", "m")
+
+
+def test_job_schema_states_are_versioned():
+    """``cancelled`` exists only from v2 on: a v1 payload claiming it is
+    malformed, and neither version accepts an invented state."""
+    with pytest.raises(EnvelopeError, match="unknown job state"):
+        validate_envelope(
+            envelope("repro.service.job/v1", job={"state": "cancelled"})
+        )
+    with pytest.raises(EnvelopeError, match="unknown job state"):
+        validate_envelope(
+            envelope("repro.service.job/v2", job={"state": "paused"})
+        )
+    validate_envelope(envelope("repro.service.job/v1", job={"state": "done"}))
 
 
 def test_figures_alias_accepted_one_release_only():

@@ -85,6 +85,22 @@ class TestRequestKey:
         assert plain != limited
 
 
+class TestParseIsPure:
+    def test_trace_parse_does_not_mutate_body(self):
+        """Regression: ``parse_trace_request`` used to ``pop`` the capture
+        controls out of the caller's dict, so a second parse of the same
+        body silently lost events/limit/capacity (different dedup key,
+        uncapped trace)."""
+        body = _point(events=["validation"], limit=10, capacity=256)
+        snapshot = dict(body)
+        params_a, key_a = wire.parse_trace_request(body)
+        assert body == snapshot  # caller's dict untouched
+        params_b, key_b = wire.parse_trace_request(body)
+        assert params_a == params_b
+        assert key_a == key_b
+        assert params_b["limit"] == 10 and params_b["events"] == ["validation"]
+
+
 class TestRequestParsers:
     def test_grid_needs_points(self):
         for body in ({}, {"points": []}, {"points": "all"}):
